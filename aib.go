@@ -1,0 +1,493 @@
+// Package repro is the public API of the Adaptive Index Buffer library —
+// a from-scratch Go reproduction of "Adaptive Index Buffer" (Voigt,
+// Jaekel, Kissinger, Lehner; ICDE Workshops 2012).
+//
+// The library bundles a small storage engine (slotted-page heap tables on
+// a simulated disk behind an LRU buffer pool), partial secondary B+-tree
+// indexes, and the paper's contribution: volatile in-memory Index Buffers
+// that complete the indexing of table pages during scans so subsequent
+// scans can skip them, managed by benefit within a bounded Index Buffer
+// Space.
+//
+// Quick start:
+//
+//	db := repro.Open(repro.Options{SpaceLimit: 100000})
+//	t, _ := db.CreateTable("flights",
+//		repro.Int64Column("delay"),
+//		repro.StringColumn("airport"),
+//	)
+//	t.Insert(int64(12), "ORD")
+//	t.CreatePartialRangeIndex("delay", 0, 60)
+//	rows, stats, _ := t.Query("delay", int64(12)) // partial index hit
+//	rows, stats, _ = t.Query("delay", int64(90))  // miss: indexing scan
+//	_ = rows
+//	_ = stats.PagesSkipped
+//
+// See the examples/ directory for runnable programs and cmd/aibench for
+// the paper's full experiment suite.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// Options configures a database. The zero value gives the paper's
+// defaults: B+-tree buffers, I^MAX = 5000 pages, P = 10000 pages,
+// LRU-2 histories, unlimited Index Buffer Space.
+type Options struct {
+	// IMax caps pages indexed per table scan (paper I^MAX).
+	IMax int
+	// PartitionPages is the page capacity of one buffer partition
+	// (paper P).
+	PartitionPages int
+	// HistoryDepth is the LRU-K depth (paper K).
+	HistoryDepth int
+	// SpaceLimit bounds total Index Buffer entries (paper L); 0 =
+	// unlimited.
+	SpaceLimit int
+	// PoolPages is the buffer-pool capacity per table.
+	PoolPages int
+	// Structure selects the buffer's index structure.
+	Structure Structure
+	// Seed drives the benefit-weighted random victim selection.
+	Seed int64
+	// DisableIndexBuffer turns the contribution off (baseline mode):
+	// partial-index misses degrade to full scans.
+	DisableIndexBuffer bool
+	// DataDir, when non-empty, stores table pages in real files under
+	// the directory instead of the in-memory simulated disk. Call Close
+	// to flush and release them.
+	DataDir string
+}
+
+// Structure enumerates the index structures an Index Buffer can use —
+// the three the paper names.
+type Structure int
+
+const (
+	// BTree is the default (the paper's B*-tree).
+	BTree Structure = iota
+	// CSBTree is the cache-sensitive B+-tree variant.
+	CSBTree
+	// HashTable is a chained hash index.
+	HashTable
+)
+
+// factory maps the enum to the core factory.
+func (s Structure) factory() core.StructureFactory {
+	switch s {
+	case CSBTree:
+		return core.NewCSBTreeStructure
+	case HashTable:
+		return core.NewHashStructure
+	default:
+		return core.NewBTreeStructure
+	}
+}
+
+// DB is a database instance.
+type DB struct {
+	eng *engine.Engine
+}
+
+// OpenExisting reopens a database previously persisted with Save into
+// o.DataDir: tables and partial indexes are restored; Index Buffers
+// start fresh.
+func OpenExisting(o Options) (*DB, error) {
+	eng, err := engine.Load(engineConfig(o))
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Open creates a new in-memory database.
+func Open(o Options) *DB {
+	return &DB{eng: engine.New(engineConfig(o))}
+}
+
+// engineConfig maps public options to the engine configuration.
+func engineConfig(o Options) engine.Config {
+	cfg := engine.Config{
+		PoolPages: o.PoolPages,
+		DataDir:   o.DataDir,
+		Space: core.Config{
+			IMax:         o.IMax,
+			P:            o.PartitionPages,
+			K:            o.HistoryDepth,
+			SpaceLimit:   o.SpaceLimit,
+			NewStructure: o.Structure.factory(),
+		},
+		DisableIndexBuffer: o.DisableIndexBuffer,
+	}
+	if o.Seed != 0 {
+		cfg.Space.Rand = rand.New(rand.NewSource(o.Seed))
+	}
+	return cfg
+}
+
+// Column describes a table column for CreateTable.
+type Column struct {
+	Name string
+	kind storage.Kind
+}
+
+// Int64Column declares an INTEGER column.
+func Int64Column(name string) Column { return Column{Name: name, kind: storage.KindInt64} }
+
+// StringColumn declares a VARCHAR column.
+func StringColumn(name string) Column { return Column{Name: name, kind: storage.KindString} }
+
+// Table is a handle to one table.
+type Table struct {
+	t      *engine.Table
+	schema *storage.Schema
+}
+
+// CreateTable creates an empty table with the given columns.
+func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
+	sc := make([]storage.Column, len(cols))
+	for i, c := range cols {
+		sc[i] = storage.Column{Name: c.Name, Kind: c.kind}
+	}
+	schema, err := storage.NewSchema(sc...)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.eng.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t, schema: schema}, nil
+}
+
+// Table returns an existing table handle, or nil.
+func (db *DB) Table(name string) *Table {
+	t := db.eng.Table(name)
+	if t == nil {
+		return nil
+	}
+	return &Table{t: t, schema: t.Schema()}
+}
+
+// RID is a stable record identifier returned by Insert and Update.
+type RID = storage.RID
+
+// Row is one query result.
+type Row struct {
+	RID    RID
+	values []storage.Value
+	schema *storage.Schema
+}
+
+// Int64 returns the named INTEGER column's value.
+func (r Row) Int64(column string) (int64, error) {
+	v, err := r.value(column)
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind() != storage.KindInt64 {
+		return 0, fmt.Errorf("repro: column %q is %v, not INTEGER", column, v.Kind())
+	}
+	return v.Int64(), nil
+}
+
+// String returns the named VARCHAR column's value.
+func (r Row) String(column string) (string, error) {
+	v, err := r.value(column)
+	if err != nil {
+		return "", err
+	}
+	if v.Kind() != storage.KindString {
+		return "", fmt.Errorf("repro: column %q is %v, not VARCHAR", column, v.Kind())
+	}
+	return v.Str(), nil
+}
+
+func (r Row) value(column string) (storage.Value, error) {
+	i := r.schema.ColumnIndex(column)
+	if i < 0 {
+		return storage.Value{}, fmt.Errorf("repro: no column %q", column)
+	}
+	return r.values[i], nil
+}
+
+// QueryStats reports the cost and mechanism of one query; see the fields
+// of exec.QueryStats. PagesRead is the logical I/O (the paper's runtime
+// proxy), PagesSkipped the pages the Index Buffer saved.
+type QueryStats = exec.QueryStats
+
+// Plan is a non-mutating EXPLAIN of a query's access path and cost; see
+// exec.Plan.
+type Plan = exec.Plan
+
+// toValue converts a friendly Go value to a storage value.
+func toValue(v any) (storage.Value, error) {
+	switch x := v.(type) {
+	case int:
+		return storage.Int64Value(int64(x)), nil
+	case int64:
+		return storage.Int64Value(x), nil
+	case string:
+		return storage.StringValue(x), nil
+	case storage.Value:
+		return x, nil
+	default:
+		return storage.Value{}, fmt.Errorf("repro: unsupported value type %T (want int, int64 or string)", v)
+	}
+}
+
+// tuple builds a schema-conforming tuple from friendly values.
+func (t *Table) tuple(values []any) (storage.Tuple, error) {
+	if len(values) != t.schema.NumColumns() {
+		return storage.Tuple{}, fmt.Errorf("repro: %d values for %d columns", len(values), t.schema.NumColumns())
+	}
+	vs := make([]storage.Value, len(values))
+	for i, v := range values {
+		sv, err := toValue(v)
+		if err != nil {
+			return storage.Tuple{}, err
+		}
+		vs[i] = sv
+	}
+	return storage.NewTuple(vs...), nil
+}
+
+// Insert adds a row; values must match the column order and kinds.
+func (t *Table) Insert(values ...any) (RID, error) {
+	tu, err := t.tuple(values)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	return t.t.Insert(tu)
+}
+
+// Update replaces the row at rid, returning its (possibly new) RID.
+func (t *Table) Update(rid RID, values ...any) (RID, error) {
+	tu, err := t.tuple(values)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	return t.t.Update(rid, tu)
+}
+
+// Delete removes the row at rid.
+func (t *Table) Delete(rid RID) error { return t.t.Delete(rid) }
+
+// columnIndex resolves a column name.
+func (t *Table) columnIndex(column string) (int, error) {
+	i := t.schema.ColumnIndex(column)
+	if i < 0 {
+		return 0, fmt.Errorf("repro: table %s has no column %q", t.t.Name(), column)
+	}
+	return i, nil
+}
+
+// CreatePartialRangeIndex builds a partial index covering values in
+// [lo, hi] of the named column, and (unless disabled) the column's Index
+// Buffer.
+func (t *Table) CreatePartialRangeIndex(column string, lo, hi any) error {
+	i, err := t.columnIndex(column)
+	if err != nil {
+		return err
+	}
+	lv, err := toValue(lo)
+	if err != nil {
+		return err
+	}
+	hv, err := toValue(hi)
+	if err != nil {
+		return err
+	}
+	return t.t.CreatePartialIndex(i, index.RangeCoverage{Lo: lv, Hi: hv})
+}
+
+// CreatePartialSetIndex builds a partial index covering an explicit value
+// set.
+func (t *Table) CreatePartialSetIndex(column string, values ...any) error {
+	i, err := t.columnIndex(column)
+	if err != nil {
+		return err
+	}
+	vs := make([]storage.Value, len(values))
+	for j, v := range values {
+		sv, err := toValue(v)
+		if err != nil {
+			return err
+		}
+		vs[j] = sv
+	}
+	return t.t.CreatePartialIndex(i, index.NewSetCoverage(vs...))
+}
+
+// RedefineRangeIndex changes the partial index's covered range — the
+// expensive disk-side adaptation the Index Buffer bridges.
+func (t *Table) RedefineRangeIndex(column string, lo, hi any) error {
+	i, err := t.columnIndex(column)
+	if err != nil {
+		return err
+	}
+	lv, err := toValue(lo)
+	if err != nil {
+		return err
+	}
+	hv, err := toValue(hi)
+	if err != nil {
+		return err
+	}
+	return t.t.RedefineIndex(i, index.RangeCoverage{Lo: lv, Hi: hv})
+}
+
+// Query answers column = key, maintaining the Index Buffer machinery as
+// a side effect, and reports the query's cost profile.
+func (t *Table) Query(column string, key any) ([]Row, QueryStats, error) {
+	i, err := t.columnIndex(column)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	kv, err := toValue(key)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	matches, stats, err := t.t.QueryEqual(i, kv)
+	if err != nil {
+		return nil, stats, err
+	}
+	rows := make([]Row, len(matches))
+	for j, m := range matches {
+		vals := make([]storage.Value, t.schema.NumColumns())
+		for c := range vals {
+			vals[c] = m.Tuple.Value(c)
+		}
+		rows[j] = Row{RID: m.RID, values: vals, schema: t.schema}
+	}
+	return rows, stats, nil
+}
+
+// QueryRange answers lo <= column <= hi. The partial index serves the
+// query only when its predicate covers the entire interval; any other
+// range runs through the same indexing-scan machinery as a point miss,
+// building the Index Buffer as a side effect.
+func (t *Table) QueryRange(column string, lo, hi any) ([]Row, QueryStats, error) {
+	i, err := t.columnIndex(column)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	lv, err := toValue(lo)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	hv, err := toValue(hi)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	matches, stats, err := t.t.QueryRange(i, lv, hv)
+	if err != nil {
+		return nil, stats, err
+	}
+	rows := make([]Row, len(matches))
+	for j, m := range matches {
+		vals := make([]storage.Value, t.schema.NumColumns())
+		for c := range vals {
+			vals[c] = m.Tuple.Value(c)
+		}
+		rows[j] = Row{RID: m.RID, values: vals, schema: t.schema}
+	}
+	return rows, stats, nil
+}
+
+// Explain plans column = key without executing or touching any Index
+// Buffer state.
+func (t *Table) Explain(column string, key any) (Plan, error) {
+	i, err := t.columnIndex(column)
+	if err != nil {
+		return Plan{}, err
+	}
+	kv, err := toValue(key)
+	if err != nil {
+		return Plan{}, err
+	}
+	return t.t.ExplainEqual(i, kv)
+}
+
+// ExplainRange plans lo <= column <= hi without executing.
+func (t *Table) ExplainRange(column string, lo, hi any) (Plan, error) {
+	i, err := t.columnIndex(column)
+	if err != nil {
+		return Plan{}, err
+	}
+	lv, err := toValue(lo)
+	if err != nil {
+		return Plan{}, err
+	}
+	hv, err := toValue(hi)
+	if err != nil {
+		return Plan{}, err
+	}
+	return t.t.ExplainRange(i, lv, hv)
+}
+
+// Vacuum rewrites the table's heap densely, reclaiming dead space after
+// heavy DML, and rebuilds its indexes. All RIDs change; the column's
+// Index Buffers restart empty. It returns the page counts before and
+// after.
+func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
+	return t.t.Vacuum()
+}
+
+// NumPages returns the table's heap page count.
+func (t *Table) NumPages() int { return t.t.NumPages() }
+
+// Count returns the number of live rows (via a raw scan).
+func (t *Table) Count() (int, error) { return t.t.Count() }
+
+// BufferStats describes one Index Buffer's current state.
+type BufferStats struct {
+	Name          string
+	Entries       int
+	Partitions    int
+	BufferedPages int
+	MeanInterval  float64
+	Benefit       float64
+}
+
+// BufferStats returns per-buffer occupancy, in creation order.
+func (db *DB) BufferStats() []BufferStats {
+	var out []BufferStats
+	for _, b := range db.eng.Space().Buffers() {
+		out = append(out, BufferStats{
+			Name:          b.Name(),
+			Entries:       b.EntryCount(),
+			Partitions:    b.PartitionCount(),
+			BufferedPages: b.BufferedPages(),
+			MeanInterval:  b.History().Mean(),
+			Benefit:       b.Benefit(),
+		})
+	}
+	return out
+}
+
+// SpaceUsed returns total entries across all Index Buffers.
+func (db *DB) SpaceUsed() int { return db.eng.Space().Used() }
+
+// TraceReport renders per-column query statistics — queries, hit rate,
+// mean pages per query, and the share of pages the Index Buffer let
+// scans skip.
+func (db *DB) TraceReport() string { return db.eng.Tracer().Report() }
+
+// Close flushes buffer pools and releases file-backed stores. In-memory
+// databases need no Close, but calling it is always safe.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Save persists the database's catalog and flushes all pages. It
+// requires a DataDir-backed database. Index Buffers are never persisted
+// — they are volatile scratch-pad structures (paper §III) and start
+// empty after OpenExisting.
+func (db *DB) Save() error { return db.eng.Save() }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDemoRuns drives the full demo narrative at a small scale.
+func TestDemoRuns(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := run(3000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenAirports(t *testing.T) {
+	got := genAirports([]string{"ORD"}, 'U', 30)
+	if len(got) != 30 || got[0] != "ORD" {
+		t.Fatalf("genAirports = %v", got[:3])
+	}
+	seen := map[string]bool{}
+	for _, a := range got {
+		if seen[a] {
+			t.Fatalf("duplicate airport %q", a)
+		}
+		seen[a] = true
+	}
+}

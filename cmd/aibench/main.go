@@ -1,0 +1,167 @@
+// Command aibench regenerates the paper's figures. Each -fig value runs
+// the corresponding experiment of "Adaptive Index Buffer" (ICDEW 2012)
+// and prints the per-query series as an aligned table, TSV, or an ASCII
+// plot.
+//
+// Usage:
+//
+//	aibench -fig 6                 # experiment 1 (Figure 6), default scale
+//	aibench -fig 8 -rows 500000    # experiment 3 at the paper's full size
+//	aibench -fig all -format plot  # every figure as ASCII plots
+//	aibench -fig 3 -format tsv > fig3.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 3, 6, 7, 8, 9, bridge, corr, churn or all")
+		rows    = flag.Int("rows", 50000, "table rows (paper: 500000)")
+		queries = flag.Int("queries", 200, "queries per experiment (paper: 200)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		format  = flag.String("format", "table", "output format: table, tsv or plot")
+		step    = flag.Int("step", 10, "table output: print every step-th query")
+		latency = flag.Duration("latency", 0, "simulated device read latency (e.g. 100us); shapes wall-clock series")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Rows: *rows, Queries: *queries, Seed: *seed, ReadLatency: *latency}
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = []string{"1", "3", "6", "7", "8", "9", "bridge", "corr", "churn"}
+	}
+	for _, f := range figs {
+		if err := run(f, opts, *format, *step); err != nil {
+			fmt.Fprintf(os.Stderr, "aibench: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(fig string, opts bench.Options, format string, step int) error {
+	switch fig {
+	case "1":
+		fmt.Println("== Figure 1: control loop delay of adaptive partial indexing ==")
+		r := bench.RunFig1(bench.DefaultFig1Options())
+		emit(r.Frame(), format, step)
+		fmt.Printf("summary: hit rate pre-shift %.2f, during shift %.2f, recovered %.2f\n\n",
+			r.HitRate.MeanRange(150, 200), r.HitRate.MeanRange(300, 340), r.HitRate.MeanRange(450, 500))
+
+	case "3":
+		fmt.Println("== Figure 3: share of fully indexed pages vs. order correlation ==")
+		o := bench.DefaultFig3Options()
+		r, err := bench.RunFig3(o)
+		if err != nil {
+			return err
+		}
+		emit(r.Frame(), format, 1)
+		fmt.Println("summary: rows are correlation 1.00 down to 0.00 in 0.05 steps")
+		fmt.Println()
+
+	case "6":
+		fmt.Println("== Figure 6: single Index Buffer, unlimited space (experiment 1) ==")
+		r, err := bench.RunFig6(opts)
+		if err != nil {
+			return err
+		}
+		emit(r.Frame(), format, step)
+		fmt.Printf("summary: table %d pages; query cost %0.f pages initially, %.1f after build-out; buffer ends at %d entries\n",
+			r.TablePages, r.PagesRead.Y[0], r.PagesRead.MeanRange(r.PagesRead.Len()/2, r.PagesRead.Len()), int(r.Entries.Y[r.Entries.Len()-1]))
+		fmt.Printf("wall-clock: %s\n\n", r.WallSummary())
+
+	case "7":
+		fmt.Println("== Figure 7: varying I^MAX and Index Buffer Space size (experiment 2) ==")
+		r, err := bench.RunFig7(opts, nil)
+		if err != nil {
+			return err
+		}
+		emit(r.Frame(), format, step)
+		fmt.Printf("summary: table %d pages; late per-query cost per configuration:\n", r.TablePages)
+		for _, c := range r.Curves {
+			fmt.Printf("  %-22s %8.1f pages\n", c.Config.Label(), c.PagesRead.MeanRange(c.PagesRead.Len()/2, c.PagesRead.Len()))
+		}
+		fmt.Println()
+
+	case "8":
+		fmt.Println("== Figure 8: three Index Buffers with limited space (experiment 3) ==")
+		r, err := bench.RunFig8(opts)
+		if err != nil {
+			return err
+		}
+		emit(r.Frame(), format, step)
+		n := r.Entries[0].Len()
+		fmt.Printf("summary: space limit %d entries; occupancy A/B/C: first period %0.f/%0.f/%0.f, second period %0.f/%0.f/%0.f\n\n",
+			r.SpaceLimit,
+			r.Entries[0].MeanRange(n/4, n/2), r.Entries[1].MeanRange(n/4, n/2), r.Entries[2].MeanRange(n/4, n/2),
+			r.Entries[0].MeanRange(3*n/4, n), r.Entries[1].MeanRange(3*n/4, n), r.Entries[2].MeanRange(3*n/4, n))
+
+	case "9":
+		fmt.Println("== Figure 9: limited space with partial index hits on column A (experiment 4) ==")
+		r, err := bench.RunFig9(opts)
+		if err != nil {
+			return err
+		}
+		emit(r.Frame(), format, step)
+		n := r.Entries[0].Len()
+		fmt.Printf("summary: space limit %d entries; A's occupancy %0.f (80%% hits) -> %0.f (20%% hits)\n\n",
+			r.SpaceLimit, r.Entries[0].MeanRange(n/4, n/2), r.Entries[0].MeanRange(3*n/4, n))
+
+	case "bridge":
+		fmt.Println("== Bridge (extension): Index Buffer covering the adaptation gap ==")
+		r, err := bench.RunBridge(bench.BridgeOptions{Rows: opts.Rows, Queries: opts.Queries, Seed: opts.Seed})
+		if err != nil {
+			return err
+		}
+		emit(r.Frame(), format, step)
+		base, adapt, adaptBuf := r.Cumulative()
+		fmt.Printf("summary: partial index adapted at query %d; cumulative pages read: baseline %.0f, adapt-only %.0f, adapt+buffer %.0f (%.1fx saved vs baseline)\n\n",
+			r.AdaptedAt, base, adapt, adaptBuf, base/adaptBuf)
+
+	case "corr":
+		fmt.Println("== Correlation (extension): Fig. 3's argument inside the engine ==")
+		r, err := bench.RunCorrelation(bench.CorrelationOptions{Rows: opts.Rows / 2, Seed: opts.Seed})
+		if err != nil {
+			return err
+		}
+		emit(r.Frame(), format, 1)
+		fmt.Println("summary: per correlation level — pages skippable via the partial index alone, and the buffer cost of full skip coverage:")
+		for _, p := range r.Points {
+			fmt.Printf("  corr %.2f: natural skip share %.1f%%, buffer completes %d pages with %d entries, steady cost %.1f pages/query\n",
+				p.Measured, 100*p.NaturalSkipShare, p.BufferedPages, p.BufferEntries, p.SteadyMissPages)
+		}
+		fmt.Println()
+
+	case "churn":
+		fmt.Println("== Churn (extension): Table I maintenance under mixed query/DML ==")
+		r, err := bench.RunChurn(bench.ChurnOptions{Rows: opts.Rows / 2, Operations: 2 * opts.Queries, Seed: opts.Seed})
+		if err != nil {
+			return err
+		}
+		emit(r.Frame(), format, step)
+		n := r.QueryPages.Len()
+		fmt.Printf("summary: %d queries interleaved with %d DML ops; query cost %0.f pages initially, %.1f in the second half\n\n",
+			r.Queries, r.DML, r.QueryPages.Y[0], r.QueryPages.MeanRange(n/2, n))
+
+	default:
+		return fmt.Errorf("unknown figure %q (want 1, 3, 6, 7, 8, 9, bridge, corr, churn or all)", fig)
+	}
+	return nil
+}
+
+func emit(f *metrics.Frame, format string, step int) {
+	switch format {
+	case "tsv":
+		_ = f.WriteTSV(os.Stdout)
+	case "plot":
+		fmt.Print(f.ASCIIPlot(80, 16))
+	default:
+		_ = f.WriteTable(os.Stdout, step)
+	}
+}

@@ -1,0 +1,111 @@
+// Command aibshell is an interactive shell over the engine. It speaks a
+// small SQL-ish language (type HELP at the prompt) and is the quickest
+// way to watch the Adaptive Index Buffer work: create a table, add a
+// partial index, query an uncovered value twice, and see the second
+// query's pages-skipped count jump.
+//
+//	$ go run ./cmd/aibshell
+//	aib> CREATE TABLE t (k INT, pad VARCHAR)
+//	aib> INSERT INTO t VALUES (1, 'x'), (900, 'y')
+//	aib> CREATE PARTIAL INDEX ON t (k) COVERING 1 TO 100
+//	aib> SELECT * FROM t WHERE k = 900
+//	aib> SHOW BUFFERS
+//
+// With -demo the shell preloads a populated flights table so there is
+// something to query immediately.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/shell"
+	"repro/internal/storage"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "preload a populated flights table")
+	data := flag.String("data", "", "directory for persistent storage (reopened if a catalog exists)")
+	flag.Parse()
+
+	cfg := engine.Config{Space: core.Config{IMax: 2000, P: 500}, DataDir: *data}
+	var eng *engine.Engine
+	if *data != "" {
+		if loaded, err := engine.Load(cfg); err == nil {
+			eng = loaded
+			fmt.Println("reopened database from", *data)
+		}
+	}
+	if eng == nil {
+		eng = engine.New(cfg)
+	}
+	defer eng.Close()
+	if *demo {
+		if err := preload(eng); err != nil {
+			fmt.Fprintln(os.Stderr, "aibshell: preload:", err)
+			os.Exit(1)
+		}
+		fmt.Println("demo table loaded: flights(airport VARCHAR, delay INT, details VARCHAR)")
+		fmt.Println("partial index on delay covering 0 TO 29; try:")
+		fmt.Println("  SELECT * FROM flights WHERE delay = 90")
+	}
+
+	repl(os.Stdin, os.Stdout, shell.New(eng))
+}
+
+// repl reads commands line by line, printing results and errors, until
+// EOF or an EXIT command.
+func repl(in io.Reader, out io.Writer, sh *shell.Shell) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	fmt.Fprint(out, "aib> ")
+	for sc.Scan() {
+		r, err := sh.Eval(sc.Text())
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else if r.Output != "" {
+			fmt.Fprintln(out, r.Output)
+		}
+		if r.Quit {
+			return
+		}
+		fmt.Fprint(out, "aib> ")
+	}
+}
+
+// preload fills a flights table with 10,000 rows and a partial index on
+// the delay column.
+func preload(eng *engine.Engine) error {
+	schema := storage.MustSchema(
+		storage.Column{Name: "airport", Kind: storage.KindString},
+		storage.Column{Name: "delay", Kind: storage.KindInt64},
+		storage.Column{Name: "details", Kind: storage.KindString},
+	)
+	tb, err := eng.CreateTable("flights", schema)
+	if err != nil {
+		return err
+	}
+	airports := []string{"ORD", "JFK", "LAX", "FRA", "MUC", "HEL"}
+	rng := rand.New(rand.NewSource(1))
+	pad := strings.Repeat("d", 250)
+	for i := 0; i < 10000; i++ {
+		tu := storage.NewTuple(
+			storage.StringValue(airports[rng.Intn(len(airports))]),
+			storage.Int64Value(int64(rng.Intn(120))),
+			storage.StringValue(pad),
+		)
+		if _, err := tb.Insert(tu); err != nil {
+			return err
+		}
+	}
+	sh := shell.New(eng)
+	_, err = sh.Eval("CREATE PARTIAL INDEX ON flights (delay) COVERING 0 TO 29")
+	return err
+}

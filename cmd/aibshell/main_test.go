@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/shell"
+)
+
+func TestREPL(t *testing.T) {
+	eng := engine.New(engine.Config{Space: core.Config{IMax: 100, P: 50}})
+	in := strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT, b VARCHAR)",
+		"INSERT INTO t VALUES (1, 'one'), (2, 'two')",
+		"SELECT * FROM t WHERE a = 2",
+		"broken command !!",
+		"SHOW TABLES",
+		"exit",
+		"never reached",
+	}, "\n"))
+	var out bytes.Buffer
+	repl(in, &out, shell.New(eng))
+	got := out.String()
+	for _, want := range []string{"created table t", "inserted 2 row(s)", `"two"`, "error:", "bye"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "never reached") {
+		t.Error("repl did not stop at exit")
+	}
+}
+
+func TestREPLEOF(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	var out bytes.Buffer
+	repl(strings.NewReader("HELP\n"), &out, shell.New(eng))
+	if !strings.Contains(out.String(), "CREATE TABLE") {
+		t.Error("help output missing")
+	}
+}
+
+func TestPreload(t *testing.T) {
+	eng := engine.New(engine.Config{Space: core.Config{IMax: 2000, P: 500}})
+	if err := preload(eng); err != nil {
+		t.Fatal(err)
+	}
+	tb := eng.Table("flights")
+	if tb == nil {
+		t.Fatal("flights table missing")
+	}
+	n, err := tb.Count()
+	if err != nil || n != 10000 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	if tb.Index(1) == nil {
+		t.Error("delay index missing")
+	}
+}

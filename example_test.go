@@ -1,0 +1,99 @@
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// ExampleOpen shows the minimal end-to-end flow: a partial index answers
+// covered queries; an uncovered query scans once and the Index Buffer
+// makes the repeat skip every page.
+func ExampleOpen() {
+	db := repro.Open(repro.Options{})
+	t, _ := db.CreateTable("orders",
+		repro.Int64Column("price"),
+		repro.StringColumn("item"),
+	)
+	pad := strings.Repeat("x", 120)
+	for i := 0; i < 5000; i++ {
+		t.Insert(int64(1+i%1000), fmt.Sprintf("item-%d-%s", i, pad))
+	}
+	t.CreatePartialRangeIndex("price", 1, 100)
+
+	_, hit, _ := t.Query("price", 50) // covered
+	fmt.Println("covered query hit:", hit.PartialHit)
+
+	_, miss1, _ := t.Query("price", 900) // uncovered: builds the buffer
+	_, miss2, _ := t.Query("price", 901) // repeat: skips
+	fmt.Println("repeat cheaper than first miss:", miss2.PagesRead < miss1.PagesRead/10)
+	fmt.Println("second miss skipped all pages:", miss2.PagesSkipped == t.NumPages())
+	// Output:
+	// covered query hit: true
+	// repeat cheaper than first miss: true
+	// second miss skipped all pages: true
+}
+
+// ExampleTable_QueryRange shows range predicates: a range nested in the
+// coverage hits the partial index; one straddling the edge runs the
+// indexing scan yet returns the complete result.
+func ExampleTable_QueryRange() {
+	db := repro.Open(repro.Options{})
+	t, _ := db.CreateTable("m", repro.Int64Column("v"), repro.StringColumn("pad"))
+	for i := 0; i < 1000; i++ {
+		t.Insert(int64(i), strings.Repeat("p", 100))
+	}
+	t.CreatePartialRangeIndex("v", 0, 499)
+
+	rows, stats, _ := t.QueryRange("v", 100, 109)
+	fmt.Println("nested range:", len(rows), "rows, hit:", stats.PartialHit)
+
+	rows, stats, _ = t.QueryRange("v", 495, 504)
+	fmt.Println("straddling range:", len(rows), "rows, hit:", stats.PartialHit)
+	// Output:
+	// nested range: 10 rows, hit: true
+	// straddling range: 10 rows, hit: false
+}
+
+// ExampleTable_Explain previews a query's access path without running it.
+func ExampleTable_Explain() {
+	db := repro.Open(repro.Options{})
+	t, _ := db.CreateTable("m", repro.Int64Column("v"), repro.StringColumn("pad"))
+	for i := 0; i < 500; i++ {
+		t.Insert(int64(i%100), strings.Repeat("p", 200))
+	}
+	t.CreatePartialRangeIndex("v", 0, 49)
+
+	hitPlan, _ := t.Explain("v", 25)
+	missPlan, _ := t.Explain("v", 75)
+	fmt.Println(hitPlan.Mechanism)
+	fmt.Println(missPlan.Mechanism)
+	// Output:
+	// partial index hit
+	// indexing scan
+}
+
+// ExampleTable_AutoTune runs the complete self-tuning loop: the
+// controller redefines the partial index after a sustained shift, with
+// the Index Buffer bridging the gap meanwhile.
+func ExampleTable_AutoTune() {
+	db := repro.Open(repro.Options{Seed: 1})
+	t, _ := db.CreateTable("e", repro.Int64Column("k"), repro.StringColumn("pad"))
+	for i := 0; i < 4000; i++ {
+		t.Insert(int64(1+i%1000), strings.Repeat("s", 150))
+	}
+	t.CreatePartialRangeIndex("k", 1, 100)
+	tuner, _ := t.AutoTune("k", repro.AutoTunePolicy{Window: 20, MissRate: 0.8, BucketWidth: 100})
+
+	// The workload shifts entirely to the uncovered range [800, 899].
+	for q := 0; q < 40; q++ {
+		tuner.Query(int64(800 + q%100))
+	}
+	fmt.Println("adaptations:", tuner.Adaptations())
+	_, stats, _, _ := tuner.Query(int64(850))
+	fmt.Println("post-adaptation hit:", stats.PartialHit)
+	// Output:
+	// adaptations: 1
+	// post-adaptation hit: true
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fig3Options configures the fully-indexed-pages study.
+type Fig3Options struct {
+	Tuples       int // tuples per scenario (paper: 100,000)
+	Steps        int // measurement steps per sweep
+	SwapsPerStep int // random swaps between measurements
+	Seed         int64
+	Scenarios    []sim.Scenario // nil means sim.PaperScenarios()
+}
+
+// DefaultFig3Options returns the paper-scale configuration.
+func DefaultFig3Options() Fig3Options {
+	return Fig3Options{Tuples: 100000, Steps: 200, SwapsPerStep: 1500, Seed: 1}
+}
+
+// Fig3Curve is one scenario's sweep.
+type Fig3Curve struct {
+	Scenario sim.Scenario
+	Points   []sim.Point
+}
+
+// Fig3Result carries all curves of the paper's Figure 3.
+type Fig3Result struct {
+	Curves []Fig3Curve
+}
+
+// RunFig3 reproduces Figure 3: the share of fully indexed pages as the
+// physical/logical order correlation decays, for each scenario.
+func RunFig3(o Fig3Options) (*Fig3Result, error) {
+	if o.Tuples <= 0 {
+		o = DefaultFig3Options()
+	}
+	scs := o.Scenarios
+	if scs == nil {
+		scs = sim.PaperScenarios()
+	}
+	r := &Fig3Result{}
+	for i, sc := range scs {
+		points, err := sim.Run(o.Tuples, sc, o.Steps, o.SwapsPerStep, o.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		r.Curves = append(r.Curves, Fig3Curve{Scenario: sc, Points: points})
+	}
+	return r, nil
+}
+
+// Frame renders share-vs-correlation at fixed correlation grid points so
+// all curves align (correlation descends from 1.0 to 0.0 in steps of
+// 0.05).
+func (r *Fig3Result) Frame() *metrics.Frame {
+	series := make([]*metrics.Series, len(r.Curves))
+	for i, c := range r.Curves {
+		s := metrics.NewSeries(c.Scenario.String())
+		for g := 0; g <= 20; g++ {
+			corr := 1 - float64(g)*0.05
+			s.Add(sim.ShareAt(c.Points, corr))
+		}
+		series[i] = s
+	}
+	return metrics.NewFrame("corr_step(1.0->0.0)", series...)
+}

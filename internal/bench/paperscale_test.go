@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPaperScaleFig6 runs experiment 1 at the paper's full 500,000-row
+// size. It is skipped in -short mode and unless AIB_PAPER_SCALE is set,
+// since it allocates a ~150 MB table; `AIB_PAPER_SCALE=1 go test -run
+// PaperScale ./internal/bench` runs it (a few seconds).
+func TestPaperScaleFig6(t *testing.T) {
+	if testing.Short() || os.Getenv("AIB_PAPER_SCALE") == "" {
+		t.Skip("set AIB_PAPER_SCALE=1 to run the full-size experiment")
+	}
+	r, err := RunFig6(Options{Rows: 500000, Queries: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's anchors at full scale: I^MAX = 5,000 pages per scan on
+	// a ~17k-page table reaches full build-out within ~5 queries
+	// (paper: "after 20"), and the final cost is index-scan level.
+	if r.TablePages < 15000 {
+		t.Errorf("table pages = %d, expected paper-scale ~17k", r.TablePages)
+	}
+	if got := int(r.Entries.Y[r.Entries.Len()-1]); got != r.TotalUncov {
+		t.Errorf("final entries %d, want %d", got, r.TotalUncov)
+	}
+	if r.TotalUncov < 400000 {
+		t.Errorf("uncovered tuples = %d, expected ~450k (90%% of 500k)", r.TotalUncov)
+	}
+	late := r.PagesRead.MeanRange(25, 50)
+	if late > 50 {
+		t.Errorf("late cost %.1f pages/query, want index-scan level", late)
+	}
+}

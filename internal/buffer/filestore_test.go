@@ -1,0 +1,200 @@
+package buffer
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// osWriteFile is a test shim (keeps the os import localized).
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func newFileStore(t *testing.T) *FileStore {
+	t.Helper()
+	s, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestFileStoreAllocateReadWrite(t *testing.T) {
+	s := newFileStore(t)
+	if s.NumPages() != 0 {
+		t.Fatalf("fresh store has %d pages", s.NumPages())
+	}
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, PageSize)
+	if err := s.Read(id, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, make([]byte, PageSize)) {
+		t.Error("fresh page not zeroed")
+	}
+	in := make([]byte, PageSize)
+	for i := range in {
+		in[i] = byte(i * 7)
+	}
+	if err := s.Write(id, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(id, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Error("read back differs")
+	}
+	st := s.Stats()
+	if st.Allocs != 1 || st.Writes != 1 || st.Reads != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreErrors(t *testing.T) {
+	s := newFileStore(t)
+	buf := make([]byte, PageSize)
+	if err := s.Read(0, buf); err == nil {
+		t.Error("read of unallocated page should fail")
+	}
+	if err := s.Write(0, buf); err == nil {
+		t.Error("write of unallocated page should fail")
+	}
+	if err := s.Read(0, make([]byte, 3)); err == nil {
+		t.Error("short buffer should fail")
+	}
+	if err := s.Write(0, make([]byte, 3)); err == nil {
+		t.Error("short buffer should fail")
+	}
+}
+
+func TestFileStoreManyPages(t *testing.T) {
+	s := newFileStore(t)
+	const n = 50
+	for i := 0; i < n; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		page := make([]byte, PageSize)
+		page[0] = byte(i)
+		page[PageSize-1] = byte(i + 1)
+		if err := s.Write(id, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumPages() != n {
+		t.Fatalf("pages = %d", s.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < n; i++ {
+		if err := s.Read(pid(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) || buf[PageSize-1] != byte(i+1) {
+			t.Errorf("page %d content wrong", i)
+		}
+	}
+}
+
+// TestFileStoreBehindPool runs the standard pool over a real file.
+func TestFileStoreBehindPool(t *testing.T) {
+	s := newFileStore(t)
+	p, err := NewPool(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for i := 0; i < 6; i++ {
+		f, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(0xA0 + i)
+		f.MarkDirty()
+		ids = append(ids, int(f.ID()))
+		p.Unpin(f)
+	}
+	// Everything must survive the eviction churn through the real file.
+	for i, id := range ids {
+		f, err := p.Fetch(pid(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(0xA0+i) {
+			t.Errorf("page %d corrupted after file round trip", id)
+		}
+		p.Unpin(f)
+	}
+}
+
+func pid(i int) storage.PageID { return storage.PageID(i) }
+
+func TestOpenFileStoreExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.db")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, PageSize)
+	in[7] = 0x7A
+	for i := 0; i < 3; i++ {
+		if _, err := s.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Write(1, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileStoreExisting(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != 3 {
+		t.Errorf("pages = %d, want 3", re.NumPages())
+	}
+	out := make([]byte, PageSize)
+	if err := re.Read(1, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[7] != 0x7A {
+		t.Error("content lost across reopen")
+	}
+	// New allocations continue past the existing pages.
+	id, err := re.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 {
+		t.Errorf("next page id = %d, want 3", id)
+	}
+
+	// Errors: missing file and misaligned size.
+	if _, err := OpenFileStoreExisting(filepath.Join(dir, "missing.db")); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(dir, "bad.db")
+	if err := osWriteFile(bad, make([]byte, PageSize+100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStoreExisting(bad); err == nil {
+		t.Error("misaligned file should fail")
+	}
+}

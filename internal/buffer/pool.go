@@ -1,0 +1,186 @@
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Frame is a pinned page in the buffer pool. The caller owns the frame
+// until Unpin; Data returns the live page image, and MarkDirty schedules
+// writeback on eviction or flush.
+type Frame struct {
+	id    storage.PageID
+	data  []byte
+	pins  int
+	dirty bool
+	lru   *list.Element // position in the pool's eviction list when unpinned
+}
+
+// ID returns the page id held by the frame.
+func (f *Frame) ID() storage.PageID { return f.id }
+
+// Data returns the page image. The slice is valid while the frame is
+// pinned; callers must not retain it past Unpin.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the page image was modified and must reach the
+// store before the frame is recycled.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// PoolStats is a snapshot of buffer pool activity.
+type PoolStats struct {
+	Hits      uint64 // fetches served from memory
+	Misses    uint64 // fetches that read from the store
+	Evictions uint64 // frames recycled to make room
+	Flushes   uint64 // dirty pages written back
+}
+
+// Pool is an LRU buffer pool over a Store. It models the paper's
+// "database buffer": table pages are fetched through it, and the Index
+// Buffer Space is accounted as a share of the same memory budget (the
+// entry-count budget lives in internal/core; the pool only serves pages).
+//
+// Pool is safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	store    Store
+	capacity int
+	frames   map[storage.PageID]*Frame
+	evict    *list.List // unpinned frames, front = least recently used
+	stats    PoolStats
+}
+
+// NewPool creates a pool holding at most capacity pages. Capacity must be
+// at least 1.
+func NewPool(store Store, capacity int) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: pool capacity %d, want >= 1", capacity)
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[storage.PageID]*Frame, capacity),
+		evict:    list.New(),
+	}, nil
+}
+
+// Capacity returns the configured frame count.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Fetch pins page id into memory and returns its frame. Every Fetch must
+// be paired with an Unpin.
+func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		if f.pins == 0 && f.lru != nil {
+			p.evict.Remove(f.lru)
+			f.lru = nil
+		}
+		f.pins++
+		return f, nil
+	}
+
+	p.stats.Misses++
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOneLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, data: make([]byte, PageSize), pins: 1}
+	if err := p.store.Read(id, f.data); err != nil {
+		return nil, err
+	}
+	p.frames[id] = f
+	return f, nil
+}
+
+// Allocate creates a new zeroed page in the store and returns it pinned.
+func (p *Pool) Allocate() (*Frame, error) {
+	id, err := p.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOneLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, data: make([]byte, PageSize), pins: 1}
+	p.frames[id] = f
+	return f, nil
+}
+
+// Unpin releases one pin on the frame. When the pin count reaches zero
+// the frame becomes eligible for eviction.
+func (p *Pool) Unpin(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: Unpin of page %d with %d pins", f.id, f.pins))
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lru = p.evict.PushBack(f)
+	}
+}
+
+// evictOneLocked writes back and drops the least recently used unpinned
+// frame. It fails if every frame is pinned.
+func (p *Pool) evictOneLocked() error {
+	el := p.evict.Front()
+	if el == nil {
+		return fmt.Errorf("buffer: pool exhausted: all %d frames pinned", p.capacity)
+	}
+	f := el.Value.(*Frame)
+	p.evict.Remove(el)
+	f.lru = nil
+	if f.dirty {
+		if err := p.store.Write(f.id, f.data); err != nil {
+			return fmt.Errorf("buffer: writeback of page %d: %w", f.id, err)
+		}
+		p.stats.Flushes++
+		f.dirty = false
+	}
+	delete(p.frames, f.id)
+	p.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes every dirty frame back to the store. Pinned frames are
+// flushed but stay resident.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.store.Write(f.id, f.data); err != nil {
+				return fmt.Errorf("buffer: flush of page %d: %w", f.id, err)
+			}
+			p.stats.Flushes++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Resident returns the number of pages currently held in memory.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}

@@ -1,0 +1,187 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newPoolT(t *testing.T, capacity, pages int) (*Pool, *SimDisk) {
+	t.Helper()
+	d := NewSimDisk()
+	for i := 0; i < pages; i++ {
+		if _, err := d.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPool(d, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, d
+}
+
+func TestNewPoolRejectsZeroCapacity(t *testing.T) {
+	if _, err := NewPool(NewSimDisk(), 0); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+}
+
+func TestPoolFetchHitMiss(t *testing.T) {
+	p, _ := newPoolT(t, 2, 2)
+	f, err := p.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID() != 0 {
+		t.Errorf("frame id = %d", f.ID())
+	}
+	p.Unpin(f)
+	f2, err := p.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f2)
+	s := p.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss then 1 hit", s)
+	}
+}
+
+func TestPoolEvictsLRU(t *testing.T) {
+	p, d := newPoolT(t, 2, 3)
+	for _, id := range []storage.PageID{0, 1} {
+		f, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f)
+	}
+	// Touch page 0 so page 1 is LRU.
+	f, _ := p.Fetch(0)
+	p.Unpin(f)
+	// Fetching page 2 must evict page 1.
+	f2, err := p.Fetch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f2)
+	if p.Resident() != 2 {
+		t.Errorf("resident = %d, want 2", p.Resident())
+	}
+	base := d.Stats()
+	f0, _ := p.Fetch(0) // still resident: no device read
+	p.Unpin(f0)
+	if got := d.Stats().Sub(base).Reads; got != 0 {
+		t.Errorf("page 0 refetch caused %d device reads, want 0", got)
+	}
+	f1, _ := p.Fetch(1) // evicted: device read
+	p.Unpin(f1)
+	if got := d.Stats().Sub(base).Reads; got != 1 {
+		t.Errorf("page 1 refetch caused %d device reads, want 1", got)
+	}
+}
+
+func TestPoolWritebackOnEvict(t *testing.T) {
+	p, d := newPoolT(t, 1, 2)
+	f, err := p.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[0] = 0xAB
+	f.MarkDirty()
+	p.Unpin(f)
+	// Force eviction of page 0.
+	f1, err := p.Fetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f1)
+	buf := make([]byte, PageSize)
+	if err := d.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Error("dirty page not written back on eviction")
+	}
+	if p.Stats().Flushes != 1 {
+		t.Errorf("flushes = %d, want 1", p.Stats().Flushes)
+	}
+}
+
+func TestPoolAllPinnedFails(t *testing.T) {
+	p, _ := newPoolT(t, 1, 2)
+	f, err := p.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(1); err == nil {
+		t.Error("fetch with all frames pinned should fail")
+	}
+	p.Unpin(f)
+	if _, err := p.Fetch(1); err != nil {
+		t.Errorf("fetch after unpin: %v", err)
+	}
+}
+
+func TestPoolAllocate(t *testing.T) {
+	p, d := newPoolT(t, 2, 0)
+	f, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[7] = 9
+	f.MarkDirty()
+	p.Unpin(f)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.Read(f.ID(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[7] != 9 {
+		t.Error("FlushAll did not persist allocated page")
+	}
+}
+
+func TestPoolUnpinUnderflowPanics(t *testing.T) {
+	p, _ := newPoolT(t, 1, 1)
+	f, err := p.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("double unpin should panic")
+		}
+	}()
+	p.Unpin(f)
+}
+
+func TestPoolConcurrentFetch(t *testing.T) {
+	const pages = 16
+	p, _ := newPoolT(t, 4, pages)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := storage.PageID((seed + i) % pages)
+				f, err := p.Fetch(id)
+				if err != nil {
+					// All-pinned is possible under contention; retry.
+					continue
+				}
+				if f.ID() != id {
+					t.Errorf("fetched %d, want %d", f.ID(), id)
+				}
+				p.Unpin(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

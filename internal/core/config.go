@@ -1,0 +1,123 @@
+package core
+
+import "math/rand"
+
+// SelectionOrder chooses how the page-selection routine orders candidate
+// pages. The paper argues for ascending counters — "pages with many
+// already indexed tuples are more valuable for the Index Buffer" (§III)
+// because they buy a skippable page for fewer entries; the alternatives
+// exist for the ablation benchmarks.
+type SelectionOrder int
+
+const (
+	// AscendingCounter is the paper's policy: cheapest pages first.
+	AscendingCounter SelectionOrder = iota
+	// DescendingCounter indexes the most expensive pages first.
+	DescendingCounter
+	// RandomOrder shuffles the candidates.
+	RandomOrder
+)
+
+// String renders the policy name.
+func (s SelectionOrder) String() string {
+	switch s {
+	case AscendingCounter:
+		return "ascending"
+	case DescendingCounter:
+		return "descending"
+	case RandomOrder:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// VictimPolicy chooses the stage-1 victim buffer during displacement.
+// The paper weights buffers by inverse benefit; the uniform alternative
+// exists for the ablation benchmarks.
+type VictimPolicy int
+
+const (
+	// BenefitWeighted is the paper's policy: probability ∝ 1/b_B.
+	BenefitWeighted VictimPolicy = iota
+	// UniformVictims picks any displaceable buffer with equal
+	// probability, ignoring benefit.
+	UniformVictims
+)
+
+// String renders the policy name.
+func (v VictimPolicy) String() string {
+	switch v {
+	case BenefitWeighted:
+		return "benefit-weighted"
+	case UniformVictims:
+		return "uniform"
+	default:
+		return "unknown"
+	}
+}
+
+// Config holds the tunables of the Index Buffer Space. The names follow
+// the paper's symbols.
+type Config struct {
+	// IMax (paper I^MAX) caps the pages indexed during one table scan.
+	// The paper's experiments use 5,000 and 10,000. Zero means
+	// DefaultIMax.
+	IMax int
+
+	// P is the maximum number of table pages one Index Buffer partition
+	// covers; displacement drops whole partitions (paper §IV, Fig. 5).
+	// The paper's experiments use 10,000. Zero means DefaultP.
+	P int
+
+	// K is the LRU-K history depth. Zero means DefaultK.
+	K int
+
+	// SpaceLimit (paper L) bounds the total number of entries across all
+	// Index Buffers. Zero means unlimited — the paper's experiment 1.
+	SpaceLimit int
+
+	// NewStructure creates the index structure backing each partition.
+	// Nil means NewBTreeStructure (the paper's B*-tree).
+	NewStructure StructureFactory
+
+	// Selection orders page candidates during Algorithm 2; the zero
+	// value is the paper's ascending-counter policy.
+	Selection SelectionOrder
+
+	// Victims picks which buffer loses partitions during displacement;
+	// the zero value is the paper's benefit-weighted random policy.
+	Victims VictimPolicy
+
+	// Rand drives the benefit-weighted random victim selection. Nil means
+	// a deterministic source seeded with 1, keeping experiments
+	// reproducible.
+	Rand *rand.Rand
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultIMax = 5000
+	DefaultP    = 10000
+	DefaultK    = 2
+)
+
+// withDefaults returns a copy of c with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.IMax <= 0 {
+		c.IMax = DefaultIMax
+	}
+	if c.P <= 0 {
+		c.P = DefaultP
+	}
+	if c.K <= 0 {
+		c.K = DefaultK
+	}
+	if c.NewStructure == nil {
+		c.NewStructure = NewBTreeStructure
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	return c
+}

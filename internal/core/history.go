@@ -1,0 +1,60 @@
+package core
+
+// History is the LRU-K access history of one Index Buffer (paper §IV,
+// Table II; O'Neil, O'Neil & Weikum's LRU-K). It records the lengths of
+// the last K access intervals, where an interval is the number of queries
+// between two uses of the buffer. Slot 0 is the running interval.
+//
+// Per Table II, the history of the queried column's buffer advances to a
+// new interval only when the query actually *uses* the buffer (a
+// partial-index miss); every other query — hits on the queried column and
+// all queries on other columns — just lengthens the running interval.
+type History struct {
+	intervals []int // intervals[0] is the running interval
+}
+
+// NewHistory creates a history of depth k (k >= 1). All intervals start
+// at zero: a fresh buffer looks recently used, which front-loads benefit
+// to new index information — exactly the "quickly of help" goal the
+// management strategy balances (§IV).
+func NewHistory(k int) *History {
+	if k < 1 {
+		k = 1
+	}
+	return &History{intervals: make([]int, k)}
+}
+
+// K returns the history depth.
+func (h *History) K() int { return len(h.intervals) }
+
+// Tick lengthens the running interval by one query — the buffer was not
+// used by this query (partial-index hit, or a query on another column).
+func (h *History) Tick() { h.intervals[0]++ }
+
+// Use closes the running interval and starts a new one — the buffer was
+// used by this query (partial-index miss on its column). The oldest
+// interval falls out of the window.
+func (h *History) Use() {
+	copy(h.intervals[1:], h.intervals)
+	h.intervals[0] = 0
+}
+
+// Mean returns the mean access interval T_B = K⁻¹ · Σ H_B[i], floored at
+// 1 so that benefit values b = X / T_B stay finite for buffers used on
+// consecutive queries.
+func (h *History) Mean() float64 {
+	sum := 0
+	for _, v := range h.intervals {
+		sum += v
+	}
+	m := float64(sum) / float64(len(h.intervals))
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+// Snapshot returns a copy of the intervals, running interval first.
+func (h *History) Snapshot() []int {
+	return append([]int(nil), h.intervals...)
+}

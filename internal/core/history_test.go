@@ -1,0 +1,105 @@
+package core
+
+import "testing"
+
+func TestHistoryBasics(t *testing.T) {
+	h := NewHistory(3)
+	if h.K() != 3 {
+		t.Fatalf("K = %d", h.K())
+	}
+	if h.Mean() != 1 {
+		t.Errorf("fresh mean = %v, want floor of 1", h.Mean())
+	}
+	h.Tick()
+	h.Tick()
+	// Running interval is 2, others 0: mean = 2/3 -> floored to 1.
+	if h.Mean() != 1 {
+		t.Errorf("mean = %v, want 1 (floored)", h.Mean())
+	}
+	h.Tick()
+	h.Tick()
+	h.Tick()
+	h.Tick() // running = 6, mean = 2
+	if got := h.Mean(); got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+}
+
+func TestHistoryUseShifts(t *testing.T) {
+	h := NewHistory(2)
+	h.Tick()
+	h.Tick()
+	h.Tick() // running = 3
+	h.Use()  // history: [0, 3]
+	got := h.Snapshot()
+	if got[0] != 0 || got[1] != 3 {
+		t.Fatalf("after use: %v, want [0 3]", got)
+	}
+	h.Tick() // [1, 3], mean 2
+	if h.Mean() != 2 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	h.Use() // [0, 1]; the 3 fell out of the window
+	got = h.Snapshot()
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("after second use: %v, want [0 1]", got)
+	}
+}
+
+func TestHistoryDepthOneClamp(t *testing.T) {
+	h := NewHistory(0) // clamped to 1
+	if h.K() != 1 {
+		t.Fatalf("K = %d, want 1", h.K())
+	}
+	h.Tick()
+	h.Tick()
+	if h.Mean() != 2 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	h.Use()
+	if h.Snapshot()[0] != 0 {
+		t.Error("use should reset the single slot")
+	}
+}
+
+// TestHistoryTableII exercises the exact operation mapping of the paper's
+// Table II at Space level: hits tick everyone, misses shift only the
+// queried buffer.
+func TestHistoryTableII(t *testing.T) {
+	s := NewSpace(Config{K: 2})
+	a, err := s.CreateBuffer("t.a", []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.CreateBuffer("t.b", []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Query on column A that hits the partial index: H[0]++ for both.
+	s.OnQuery(a, true)
+	if got := a.History().Snapshot(); got[0] != 1 {
+		t.Errorf("a after hit: %v", got)
+	}
+	if got := b.History().Snapshot(); got[0] != 1 {
+		t.Errorf("b after hit: %v", got)
+	}
+
+	// Query on column A that misses: A shifts to a new interval, B ticks.
+	s.OnQuery(a, false)
+	if got := a.History().Snapshot(); got[0] != 0 || got[1] != 1 {
+		t.Errorf("a after miss: %v, want [0 1]", got)
+	}
+	if got := b.History().Snapshot(); got[0] != 2 {
+		t.Errorf("b after a-miss: %v, want running=2", got)
+	}
+
+	// Query on a column with no buffer (queried == nil): everyone ticks.
+	s.OnQuery(nil, false)
+	if got := a.History().Snapshot(); got[0] != 1 {
+		t.Errorf("a after unrelated query: %v", got)
+	}
+	if got := b.History().Snapshot(); got[0] != 3 {
+		t.Errorf("b after unrelated query: %v", got)
+	}
+}

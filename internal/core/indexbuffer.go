@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// IndexBuffer is the scratch-pad index complementing one partial index
+// (paper §III). It holds, for a set of fully indexed table pages, every
+// tuple of those pages that the partial index does not cover. Pages whose
+// uncovered tuples are all buffered have counter C[p] == 0 and can be
+// skipped by table scans on this column.
+//
+// The buffer consists of partitions (its displacement units), the page
+// counters, and an LRU-K usage history. It is created and sized through
+// a Space and is not safe for concurrent use on its own; the engine
+// serializes access.
+type IndexBuffer struct {
+	name  string
+	space *Space
+	cfg   *Config
+
+	// uncovered[p] is the number of live tuples in page p not covered by
+	// the partial index, maintained under all DML (paper: the counter
+	// array "initialized during the creation of the partial index").
+	// The effective counter is C[p] = 0 when p is buffered, else
+	// uncovered[p]; see Counter.
+	uncovered []int
+
+	parts  []*Partition
+	open   *Partition // partition currently filling (X_p < P), if any
+	byPage map[storage.PageID]*Partition
+	nextID int
+
+	hist *History
+}
+
+// Name returns the buffer's identifier (typically "table.column").
+func (b *IndexBuffer) Name() string { return b.name }
+
+// History exposes the LRU-K history (read-mostly; the Space advances it).
+func (b *IndexBuffer) History() *History { return b.hist }
+
+// NumPages returns the size of the counter array — the number of table
+// pages the buffer knows about.
+func (b *IndexBuffer) NumPages() int { return len(b.uncovered) }
+
+// GrowPages extends the counter array for newly allocated table pages.
+// New pages start with zero uncovered tuples; inserts bump them.
+func (b *IndexBuffer) GrowPages(numPages int) {
+	for len(b.uncovered) < numPages {
+		b.uncovered = append(b.uncovered, 0)
+	}
+}
+
+// Counter returns C[p]: 0 when the page is fully indexed (buffered), else
+// the number of uncovered live tuples in the page.
+func (b *IndexBuffer) Counter(p storage.PageID) int {
+	if int(p) >= len(b.uncovered) {
+		return 0
+	}
+	if _, buffered := b.byPage[p]; buffered {
+		return 0
+	}
+	return b.uncovered[p]
+}
+
+// Uncovered returns the raw uncovered-tuple count of page p, independent
+// of buffering — what C[p] reverts to when p's partition is dropped.
+func (b *IndexBuffer) Uncovered(p storage.PageID) int {
+	if int(p) >= len(b.uncovered) {
+		return 0
+	}
+	return b.uncovered[p]
+}
+
+// PageBuffered reports whether page p is covered by a partition.
+func (b *IndexBuffer) PageBuffered(p storage.PageID) bool {
+	_, ok := b.byPage[p]
+	return ok
+}
+
+// EntryCount returns the number of entries across all partitions.
+func (b *IndexBuffer) EntryCount() int {
+	n := 0
+	for _, p := range b.parts {
+		n += p.EntryCount()
+	}
+	return n
+}
+
+// PartitionCount returns the number of live partitions.
+func (b *IndexBuffer) PartitionCount() int { return len(b.parts) }
+
+// Partitions returns the live partitions (shared slice; do not mutate).
+func (b *IndexBuffer) Partitions() []*Partition { return b.parts }
+
+// BufferedPages returns the number of fully indexed pages — Σ X_p.
+func (b *IndexBuffer) BufferedPages() int {
+	n := 0
+	for _, p := range b.parts {
+		n += p.PageCount()
+	}
+	return n
+}
+
+// Benefit returns b_B = Σ_p b_p, the buffer's total benefit under its
+// current mean access interval.
+func (b *IndexBuffer) Benefit() float64 {
+	t := b.hist.Mean()
+	sum := 0.0
+	for _, p := range b.parts {
+		sum += p.benefit(t)
+	}
+	return sum
+}
+
+// Lookup returns the RIDs of buffered tuples with the given key,
+// collected across all partitions — the "Index Buffer scan" of
+// Algorithm 1 (lines 8–10).
+func (b *IndexBuffer) Lookup(key storage.Value) []storage.RID {
+	var out []storage.RID
+	for _, p := range b.parts {
+		out = append(out, p.structure.Lookup(key)...)
+	}
+	return out
+}
+
+// rangeScanner is the optional Structure extension for ordered range
+// iteration (the tree structures); structures without it (hash) fall
+// back to the unordered enumerator.
+type rangeScanner interface {
+	AscendRange(lo, hi storage.Value, fn func(key storage.Value, post []storage.RID) bool)
+}
+
+// enumerator is the unordered fallback for range lookups.
+type enumerator interface {
+	ForEach(fn func(key storage.Value, post []storage.RID) bool)
+}
+
+// LookupRange returns the RIDs of buffered tuples with keys in [lo, hi],
+// collected across all partitions. Tree-backed partitions use ordered
+// range scans; hash-backed partitions filter a full enumeration — the
+// structural trade-off the paper alludes to when it permits a hash table
+// as the buffer structure.
+func (b *IndexBuffer) LookupRange(lo, hi storage.Value) []storage.RID {
+	var out []storage.RID
+	for _, p := range b.parts {
+		switch st := p.structure.(type) {
+		case rangeScanner:
+			st.AscendRange(lo, hi, func(_ storage.Value, post []storage.RID) bool {
+				out = append(out, post...)
+				return true
+			})
+		case enumerator:
+			st.ForEach(func(k storage.Value, post []storage.RID) bool {
+				if k.Compare(lo) >= 0 && k.Compare(hi) <= 0 {
+					out = append(out, post...)
+				}
+				return true
+			})
+		default:
+			panic(fmt.Sprintf("core: structure %T supports neither range scan nor enumeration", p.structure))
+		}
+	}
+	return out
+}
+
+// BeginPage assigns page p to the filling partition, opening a new one
+// when the current is complete (X_p == P). Called by the indexing scan
+// for each page in the selected set I before its tuples are added.
+func (b *IndexBuffer) BeginPage(p storage.PageID) error {
+	if _, dup := b.byPage[p]; dup {
+		return fmt.Errorf("core: page %d already buffered in %s", p, b.name)
+	}
+	if b.open == nil || b.open.complete(b.cfg.P) {
+		b.open = newPartition(b.nextID, b.cfg.NewStructure)
+		b.nextID++
+		b.parts = append(b.parts, b.open)
+	}
+	b.open.pages[p] = struct{}{}
+	b.byPage[p] = b.open
+	return nil
+}
+
+// AddEntry inserts an uncovered tuple of a buffered page into the page's
+// partition, charging the Space budget. The page must have been assigned
+// via BeginPage.
+func (b *IndexBuffer) AddEntry(p storage.PageID, key storage.Value, rid storage.RID) error {
+	part, ok := b.byPage[p]
+	if !ok {
+		return fmt.Errorf("core: AddEntry on unbuffered page %d in %s", p, b.name)
+	}
+	if part.structure.Insert(key, rid) {
+		b.space.used++
+	}
+	return nil
+}
+
+// dropPartition removes part from the buffer: its pages lose their
+// fully-indexed status (C[p] reverts to the uncovered count) and its
+// entries leave the Space budget.
+func (b *IndexBuffer) dropPartition(part *Partition) {
+	for i, p := range b.parts {
+		if p == part {
+			b.parts = append(b.parts[:i], b.parts[i+1:]...)
+			break
+		}
+	}
+	if b.open == part {
+		b.open = nil
+	}
+	for pg := range part.pages {
+		delete(b.byPage, pg)
+	}
+	b.space.used -= part.EntryCount()
+}
+
+// Reset drops every partition — used when the partial index is redefined
+// (the counters must be rebuilt against the new coverage, so the engine
+// re-creates the buffer afterwards).
+func (b *IndexBuffer) Reset() {
+	for len(b.parts) > 0 {
+		b.dropPartition(b.parts[0])
+	}
+}

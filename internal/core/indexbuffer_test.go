@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func iv(v int64) storage.Value { return storage.Int64Value(v) }
+func rid(p, s int) storage.RID { return storage.RID{Page: storage.PageID(p), Slot: uint16(s)} }
+
+func newBuf(t *testing.T, cfg Config, uncovered []int) (*Space, *IndexBuffer) {
+	t.Helper()
+	s := NewSpace(cfg)
+	b, err := s.CreateBuffer("t.a", uncovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, b
+}
+
+func TestCreateBufferDuplicate(t *testing.T) {
+	s := NewSpace(Config{})
+	if _, err := s.CreateBuffer("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateBuffer("x", nil); err == nil {
+		t.Error("duplicate buffer name should fail")
+	}
+}
+
+func TestCountersInitialAndGrow(t *testing.T) {
+	_, b := newBuf(t, Config{}, []int{3, 0, 5})
+	if b.NumPages() != 3 {
+		t.Fatalf("NumPages = %d", b.NumPages())
+	}
+	if b.Counter(0) != 3 || b.Counter(1) != 0 || b.Counter(2) != 5 {
+		t.Errorf("counters = %d %d %d", b.Counter(0), b.Counter(1), b.Counter(2))
+	}
+	// Out-of-range pages read as 0 rather than panicking.
+	if b.Counter(99) != 0 {
+		t.Errorf("out-of-range counter = %d", b.Counter(99))
+	}
+	b.GrowPages(5)
+	if b.NumPages() != 5 || b.Counter(4) != 0 {
+		t.Errorf("after grow: pages=%d C[4]=%d", b.NumPages(), b.Counter(4))
+	}
+	// Grow never shrinks.
+	b.GrowPages(2)
+	if b.NumPages() != 5 {
+		t.Errorf("grow shrank to %d", b.NumPages())
+	}
+}
+
+func TestBeginPageAndAddEntry(t *testing.T) {
+	s, b := newBuf(t, Config{P: 2}, []int{2, 1, 1, 1})
+	if err := b.BeginPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeginPage(0); err == nil {
+		t.Error("double BeginPage should fail")
+	}
+	if err := b.AddEntry(0, iv(10), rid(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry(0, iv(20), rid(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry(3, iv(30), rid(3, 0)); err == nil {
+		t.Error("AddEntry on unassigned page should fail")
+	}
+	if !b.PageBuffered(0) || b.PageBuffered(1) {
+		t.Error("PageBuffered wrong")
+	}
+	if b.Counter(0) != 0 {
+		t.Errorf("buffered page counter = %d, want 0", b.Counter(0))
+	}
+	if b.Uncovered(0) != 2 {
+		t.Errorf("raw uncovered = %d, want 2 (unchanged)", b.Uncovered(0))
+	}
+	if b.EntryCount() != 2 || s.Used() != 2 {
+		t.Errorf("entries=%d used=%d", b.EntryCount(), s.Used())
+	}
+	if got := b.Lookup(iv(10)); len(got) != 1 || got[0] != rid(0, 0) {
+		t.Errorf("lookup = %v", got)
+	}
+	if b.Lookup(iv(99)) != nil {
+		t.Error("missing key should be nil")
+	}
+}
+
+func TestPartitionFillingRespectsP(t *testing.T) {
+	_, b := newBuf(t, Config{P: 2}, []int{1, 1, 1, 1, 1})
+	for p := 0; p < 5; p++ {
+		if err := b.BeginPage(storage.PageID(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 pages at P=2: partitions of 2, 2, 1.
+	if b.PartitionCount() != 3 {
+		t.Fatalf("partitions = %d, want 3", b.PartitionCount())
+	}
+	sizes := []int{}
+	for _, p := range b.Partitions() {
+		sizes = append(sizes, p.PageCount())
+	}
+	if sizes[0] != 2 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Errorf("partition page counts = %v", sizes)
+	}
+	if b.BufferedPages() != 5 {
+		t.Errorf("buffered pages = %d", b.BufferedPages())
+	}
+	// Disjointness: each page in exactly one partition.
+	seen := map[storage.PageID]int{}
+	for _, part := range b.Partitions() {
+		for pg := range part.pages {
+			seen[pg]++
+		}
+	}
+	for pg, n := range seen {
+		if n != 1 {
+			t.Errorf("page %d in %d partitions", pg, n)
+		}
+	}
+}
+
+func TestLookupSpansPartitions(t *testing.T) {
+	_, b := newBuf(t, Config{P: 1}, []int{1, 1})
+	_ = b.BeginPage(0)
+	_ = b.BeginPage(1)
+	_ = b.AddEntry(0, iv(7), rid(0, 0))
+	_ = b.AddEntry(1, iv(7), rid(1, 0))
+	got := b.Lookup(iv(7))
+	if len(got) != 2 {
+		t.Fatalf("lookup across partitions = %v", got)
+	}
+}
+
+func TestDropPartitionRestoresCounters(t *testing.T) {
+	s, b := newBuf(t, Config{P: 2}, []int{3, 2, 4})
+	_ = b.BeginPage(0)
+	_ = b.BeginPage(1)
+	_ = b.AddEntry(0, iv(1), rid(0, 0))
+	_ = b.AddEntry(0, iv(2), rid(0, 1))
+	_ = b.AddEntry(0, iv(3), rid(0, 2))
+	_ = b.AddEntry(1, iv(4), rid(1, 0))
+	_ = b.AddEntry(1, iv(5), rid(1, 1))
+	if s.Used() != 5 {
+		t.Fatalf("used = %d", s.Used())
+	}
+	part := b.Partitions()[0]
+	b.dropPartition(part)
+	if b.PartitionCount() != 0 {
+		t.Errorf("partitions = %d", b.PartitionCount())
+	}
+	if s.Used() != 0 {
+		t.Errorf("used after drop = %d", s.Used())
+	}
+	// Counters revert to the uncovered counts.
+	if b.Counter(0) != 3 || b.Counter(1) != 2 {
+		t.Errorf("counters after drop = %d, %d", b.Counter(0), b.Counter(1))
+	}
+	if b.PageBuffered(0) || b.PageBuffered(1) {
+		t.Error("pages still marked buffered after drop")
+	}
+	// The open partition pointer was cleared; a new BeginPage works.
+	if err := b.BeginPage(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, b := newBuf(t, Config{P: 1}, []int{1, 1, 1})
+	for p := 0; p < 3; p++ {
+		_ = b.BeginPage(storage.PageID(p))
+		_ = b.AddEntry(storage.PageID(p), iv(int64(p)), rid(p, 0))
+	}
+	b.Reset()
+	if b.PartitionCount() != 0 || b.EntryCount() != 0 || s.Used() != 0 {
+		t.Errorf("reset left parts=%d entries=%d used=%d", b.PartitionCount(), b.EntryCount(), s.Used())
+	}
+	for p := 0; p < 3; p++ {
+		if b.Counter(storage.PageID(p)) != 1 {
+			t.Errorf("counter %d = %d", p, b.Counter(storage.PageID(p)))
+		}
+	}
+}
+
+func TestBenefitUsesHistory(t *testing.T) {
+	_, b := newBuf(t, Config{P: 2, K: 2}, []int{1, 1, 1, 1})
+	for p := 0; p < 4; p++ {
+		_ = b.BeginPage(storage.PageID(p))
+	}
+	// 2 partitions × 2 pages, fresh history (T=1): benefit = 4.
+	if got := b.Benefit(); got != 4 {
+		t.Errorf("benefit = %v, want 4", got)
+	}
+	// Age the buffer: running interval 6, T = (6+0)/2 = 3 -> benefit 4/3.
+	for i := 0; i < 6; i++ {
+		b.History().Tick()
+	}
+	want := 4.0 / 3.0
+	if got := b.Benefit(); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("benefit = %v, want %v", got, want)
+	}
+}
+
+func TestDropBuffer(t *testing.T) {
+	s := NewSpace(Config{P: 1})
+	b, _ := s.CreateBuffer("t.a", []int{1})
+	_ = b.BeginPage(0)
+	_ = b.AddEntry(0, iv(1), rid(0, 0))
+	s.DropBuffer("t.a")
+	if s.Buffer("t.a") != nil || s.Used() != 0 || len(s.Buffers()) != 0 {
+		t.Error("DropBuffer did not clean up")
+	}
+	s.DropBuffer("missing") // no-op
+}

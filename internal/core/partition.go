@@ -1,0 +1,44 @@
+package core
+
+import "repro/internal/storage"
+
+// Partition is one displacement unit of an Index Buffer (paper §IV,
+// Fig. 5). Each partition has its own index structure and covers a
+// disjoint set of table pages; every buffered entry whose tuple lives in
+// one of those pages is in this partition. Discarding always removes
+// whole partitions, so a drop cleanly un-indexes a page set without
+// leaving useless sibling entries behind.
+type Partition struct {
+	id        int
+	structure Structure
+	pages     map[storage.PageID]struct{}
+}
+
+func newPartition(id int, f StructureFactory) *Partition {
+	return &Partition{id: id, structure: f(), pages: make(map[storage.PageID]struct{})}
+}
+
+// ID returns the partition's identifier, unique within its buffer.
+func (p *Partition) ID() int { return p.id }
+
+// PageCount returns X_p — the number of table pages the partition covers.
+func (p *Partition) PageCount() int { return len(p.pages) }
+
+// EntryCount returns n_p — the number of (key, rid) entries, the
+// partition's size in Index Buffer Space budget units.
+func (p *Partition) EntryCount() int { return p.structure.EntryCount() }
+
+// Covers reports whether the partition covers table page pg.
+func (p *Partition) Covers(pg storage.PageID) bool {
+	_, ok := p.pages[pg]
+	return ok
+}
+
+// complete reports whether the partition has reached its page capacity P.
+func (p *Partition) complete(P int) bool { return len(p.pages) >= P }
+
+// benefit returns b_p = X_p · T⁻¹ for the given mean access interval of
+// the owning buffer.
+func (p *Partition) benefit(meanInterval float64) float64 {
+	return float64(len(p.pages)) / meanInterval
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestSelectionOrderString(t *testing.T) {
+	cases := map[SelectionOrder]string{
+		AscendingCounter:   "ascending",
+		DescendingCounter:  "descending",
+		RandomOrder:        "random",
+		SelectionOrder(99): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSelectionOrderPolicies(t *testing.T) {
+	counters := []int{5, 1, 4, 2, 3}
+
+	pick := func(sel SelectionOrder, imax int) []storage.PageID {
+		s := NewSpace(Config{IMax: imax, P: 10, Selection: sel, Rand: rand.New(rand.NewSource(3))})
+		b, err := s.CreateBuffer("t.a", counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.SelectPagesForBuffer(b, len(counters))
+	}
+
+	// Ascending picks the two cheapest pages (C=1 and C=2).
+	got := pick(AscendingCounter, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("ascending selected %v, want [1 3]", got)
+	}
+	// Descending picks the two most expensive (C=5 and C=4).
+	got = pick(DescendingCounter, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("descending selected %v, want [0 2]", got)
+	}
+	// Random selects the requested count from the candidate set.
+	got = pick(RandomOrder, 3)
+	if len(got) != 3 {
+		t.Errorf("random selected %d pages, want 3", len(got))
+	}
+	seen := map[storage.PageID]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Errorf("random selected page %d twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+// TestSelectionAscendingMaximizesSkipsPerEntry checks the paper's §III
+// argument quantitatively: with a budget of entries, ascending-counter
+// selection buys more skippable pages than descending.
+func TestSelectionAscendingMaximizesSkipsPerEntry(t *testing.T) {
+	counters := make([]int, 100)
+	for i := range counters {
+		counters[i] = 1 + i%10 // counters 1..10
+	}
+	run := func(sel SelectionOrder) int {
+		s := NewSpace(Config{IMax: 1000, P: 50, SpaceLimit: 60, Selection: sel, Rand: rand.New(rand.NewSource(4))})
+		b, err := s.CreateBuffer("t.a", counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages := s.SelectPagesForBuffer(b, len(counters))
+		return len(pages)
+	}
+	asc, desc := run(AscendingCounter), run(DescendingCounter)
+	if asc <= desc {
+		t.Errorf("ascending bought %d pages, descending %d; paper's policy should win", asc, desc)
+	}
+}
+
+// TestVictimPolicyProtectsHotBuffer compares the paper's benefit-weighted
+// victim choice against uniform random: under repeated displacement
+// pressure from a third buffer, the hot (frequently used) buffer should
+// retain more of its entries under the paper's policy.
+func TestVictimPolicyProtectsHotBuffer(t *testing.T) {
+	run := func(policy VictimPolicy, seed int64) (hotLost, coldLost int) {
+		// I^MAX < P keeps displacement marginal (one scan's new info
+		// cannot outbid arbitrarily many partitions), so the victim
+		// choice, not wholesale eviction, decides who shrinks.
+		s := NewSpace(Config{
+			IMax: 4, P: 2, K: 2, SpaceLimit: 40,
+			Victims: policy, Rand: rand.New(rand.NewSource(seed)),
+		})
+		mk := func(name string) *IndexBuffer {
+			counters := make([]int, 20)
+			for i := range counters {
+				counters[i] = 2
+			}
+			b, err := s.CreateBuffer(name, counters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		hot, cold, grower := mk("hot"), mk("cold"), mk("grower")
+		fill := func(b *IndexBuffer, pages int) {
+			sel := s.SelectPagesForBuffer(b, pages)
+			for _, pg := range sel {
+				n := b.Counter(pg)
+				_ = b.BeginPage(pg)
+				for k := 0; k < n; k++ {
+					_ = b.AddEntry(pg, storage.Int64Value(int64(pg)*10+int64(k)), storage.RID{Page: pg, Slot: uint16(k)})
+				}
+			}
+		}
+		fill(hot, 10)
+		fill(cold, 10)
+		hotBefore, coldBefore := hot.EntryCount(), cold.EntryCount()
+		// hot stays hot (used every other query); cold never queried; the
+		// grower displaces a little every round.
+		for i := 0; i < 12; i++ {
+			s.OnQuery(hot, false)
+			s.OnQuery(grower, false)
+			fill(grower, 20)
+		}
+		return hotBefore - hot.EntryCount(), coldBefore - cold.EntryCount()
+	}
+
+	weightedHotLost, weightedColdLost := 0, 0
+	uniformHotLost := 0
+	for seed := int64(0); seed < 10; seed++ {
+		h, c := run(BenefitWeighted, seed)
+		weightedHotLost += h
+		weightedColdLost += c
+		h, _ = run(UniformVictims, seed)
+		uniformHotLost += h
+	}
+	if weightedHotLost > weightedColdLost {
+		t.Errorf("benefit-weighted: hot lost %d > cold lost %d", weightedHotLost, weightedColdLost)
+	}
+	if weightedHotLost >= uniformHotLost {
+		t.Errorf("hot buffer lost %d entries under benefit-weighting vs %d under uniform; the paper's policy should protect it",
+			weightedHotLost, uniformHotLost)
+	}
+}
+
+func TestVictimPolicyString(t *testing.T) {
+	if BenefitWeighted.String() != "benefit-weighted" || UniformVictims.String() != "uniform" {
+		t.Error("VictimPolicy names wrong")
+	}
+	if VictimPolicy(9).String() != "unknown" {
+		t.Error("unknown policy name wrong")
+	}
+}

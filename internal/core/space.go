@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Space is the Index Buffer Space (paper §IV): the bounded share of the
+// database buffer that holds all Index Buffers. It owns the entry budget,
+// the LRU-K bookkeeping across buffers (Table II), and the page-selection
+// / displacement policy (Algorithm 2).
+type Space struct {
+	cfg     Config
+	buffers map[string]*IndexBuffer
+	order   []string // creation order, for deterministic iteration
+	used    int      // total entries across all buffers
+
+	stats SpaceStats
+}
+
+// SpaceStats counts management activity.
+type SpaceStats struct {
+	PartitionsDropped uint64
+	EntriesDropped    uint64
+	PagesSelected     uint64
+}
+
+// NewSpace creates an Index Buffer Space with the given configuration.
+func NewSpace(cfg Config) *Space {
+	return &Space{cfg: cfg.withDefaults(), buffers: make(map[string]*IndexBuffer)}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (s *Space) Config() Config { return s.cfg }
+
+// Used returns the total number of entries currently held.
+func (s *Space) Used() int { return s.used }
+
+// Free returns the remaining entry budget n_F. It is negative when
+// maintenance inserts pushed usage past the limit (only scans trigger
+// displacement, per §IV); unlimited spaces report a huge value.
+func (s *Space) Free() int {
+	if s.cfg.SpaceLimit <= 0 {
+		return math.MaxInt / 2
+	}
+	return s.cfg.SpaceLimit - s.used
+}
+
+// Stats returns a snapshot of the management counters.
+func (s *Space) Stats() SpaceStats { return s.stats }
+
+// CreateBuffer registers a new Index Buffer. uncovered[p] must hold, for
+// each table page, the number of live tuples not covered by the partial
+// index — the paper's counter initialization at partial-index creation
+// (§III). The name must be unique.
+func (s *Space) CreateBuffer(name string, uncovered []int) (*IndexBuffer, error) {
+	if _, dup := s.buffers[name]; dup {
+		return nil, fmt.Errorf("core: buffer %q already exists", name)
+	}
+	b := &IndexBuffer{
+		name:      name,
+		space:     s,
+		cfg:       &s.cfg,
+		uncovered: append([]int(nil), uncovered...),
+		byPage:    make(map[storage.PageID]*Partition),
+		hist:      NewHistory(s.cfg.K),
+	}
+	s.buffers[name] = b
+	s.order = append(s.order, name)
+	return b, nil
+}
+
+// DropBuffer removes a buffer and releases its entries (partial index
+// dropped or redefined).
+func (s *Space) DropBuffer(name string) {
+	b, ok := s.buffers[name]
+	if !ok {
+		return
+	}
+	b.Reset()
+	delete(s.buffers, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Buffer returns the named buffer, or nil.
+func (s *Space) Buffer(name string) *IndexBuffer { return s.buffers[name] }
+
+// Buffers returns all buffers in creation order.
+func (s *Space) Buffers() []*IndexBuffer {
+	out := make([]*IndexBuffer, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.buffers[n])
+	}
+	return out
+}
+
+// OnQuery advances every buffer's LRU-K history for one query, per the
+// paper's Table II. queried is the buffer of the queried column (nil when
+// the column has no buffer); partialHit reports whether the partial index
+// answered the query. Only an actual buffer use — a miss on the queried
+// column — closes that buffer's running interval.
+func (s *Space) OnQuery(queried *IndexBuffer, partialHit bool) {
+	for _, n := range s.order {
+		b := s.buffers[n]
+		if b == queried && !partialHit {
+			b.hist.Use()
+		} else {
+			b.hist.Tick()
+		}
+	}
+}
+
+// SelectPagesForBuffer implements Algorithm 2. For an indexing scan on
+// behalf of buffer target, it chooses the set I of pages to index this
+// scan — pages with the smallest non-zero counters first, bounded by
+// I^MAX and by available space — and displaces victim partitions from
+// *other* buffers exactly when the new information's benefit b_I = |I|/T
+// exceeds the victims' summed benefit. It performs the drops and returns
+// I sorted ascending.
+//
+// candidates is the scan range R as counter-bearing pages; callers pass
+// every table page (the scan range of the query).
+func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storage.PageID {
+	target.GrowPages(numPages)
+
+	// Candidate pages: C[p] > 0, ascending counter — cheapest pages
+	// first, maximizing skippable pages per buffer entry (§III: pages
+	// with many already-indexed tuples are more valuable).
+	type cand struct {
+		page storage.PageID
+		n    int // entries the page would add == C[p]
+	}
+	var cands []cand
+	for p := 0; p < numPages; p++ {
+		pg := storage.PageID(p)
+		if c := target.Counter(pg); c > 0 {
+			cands = append(cands, cand{pg, c})
+		}
+	}
+	switch s.cfg.Selection {
+	case DescendingCounter:
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].n != cands[j].n {
+				return cands[i].n > cands[j].n
+			}
+			return cands[i].page < cands[j].page
+		})
+	case RandomOrder:
+		s.cfg.Rand.Shuffle(len(cands), func(i, j int) {
+			cands[i], cands[j] = cands[j], cands[i]
+		})
+	default: // AscendingCounter — the paper's policy
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].n != cands[j].n {
+				return cands[i].n < cands[j].n
+			}
+			return cands[i].page < cands[j].page
+		})
+	}
+	if len(cands) > s.cfg.IMax {
+		cands = cands[:s.cfg.IMax]
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// fit returns how many candidate pages fit into the given entry
+	// budget (prefix of the ascending-counter order, capped by IMax).
+	fit := func(budget int) (count, entries int) {
+		for _, c := range cands {
+			if entries+c.n > budget {
+				break
+			}
+			entries += c.n
+			count++
+		}
+		return count, entries
+	}
+
+	tTarget := target.hist.Mean()
+	benefitOf := func(pages int) float64 { return float64(pages) / tTarget }
+
+	// Iteratively grow the victim set D while the enlarged page set I is
+	// strictly more beneficial than the partitions it displaces.
+	var victims []victimRef
+	victimEntries := 0
+	victimBenefit := 0.0
+	excluded := map[*Partition]bool{}
+
+	accepted, _ := fit(s.Free())
+	for accepted < len(cands) {
+		v := s.selectNextVictim(target, excluded)
+		if v == nil {
+			break
+		}
+		excluded[v.part] = true
+		nextEntries := victimEntries + v.part.EntryCount()
+		nextBenefit := victimBenefit + v.part.benefit(v.owner.hist.Mean())
+		nextAccepted, _ := fit(s.Free() + nextEntries)
+		if benefitOf(nextAccepted) <= nextBenefit || nextAccepted == accepted {
+			break // the paper's until-condition: reject the enlargement
+		}
+		victims = append(victims, *v)
+		victimEntries = nextEntries
+		victimBenefit = nextBenefit
+		accepted = nextAccepted
+	}
+
+	// Perform the accepted drops.
+	for _, v := range victims {
+		s.stats.PartitionsDropped++
+		s.stats.EntriesDropped += uint64(v.part.EntryCount())
+		v.owner.dropPartition(v.part)
+	}
+
+	out := make([]storage.PageID, 0, accepted)
+	for _, c := range cands[:accepted] {
+		out = append(out, c.page)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	s.stats.PagesSelected += uint64(len(out))
+	return out
+}
+
+// victimOwners is scratch space pairing victims with their buffers during
+// SelectPagesForBuffer.
+type victimRef struct {
+	part  *Partition
+	owner *IndexBuffer
+}
+
+// selectNextVictim implements the paper's two-staged victim selection:
+// stage 1 picks a buffer other than the target, randomly weighted by
+// inverse benefit (low-benefit buffers are likelier); stage 2 picks that
+// buffer's incomplete partition first, then complete partitions in
+// descending entry count. Partitions in excluded are already chosen.
+func (s *Space) selectNextVictim(target *IndexBuffer, excluded map[*Partition]bool) *victimRef {
+	type choice struct {
+		buf    *IndexBuffer
+		weight float64
+	}
+	var choices []choice
+	total := 0.0
+	for _, n := range s.order {
+		b := s.buffers[n]
+		if b == target {
+			continue
+		}
+		if !b.hasDroppable(excluded) {
+			continue
+		}
+		w := 1.0
+		if s.cfg.Victims == BenefitWeighted {
+			if ben := b.Benefit(); ben > 0 {
+				w = 1.0 / ben
+			} else {
+				// A zero-benefit buffer (only excluded/empty partitions
+				// left would have been filtered) is the cheapest possible
+				// victim.
+				w = math.MaxFloat64 / 4
+			}
+		}
+		choices = append(choices, choice{b, w})
+		total += w
+	}
+	if len(choices) == 0 {
+		return nil
+	}
+	r := s.cfg.Rand.Float64() * total
+	var picked *IndexBuffer
+	for _, c := range choices {
+		r -= c.weight
+		if r <= 0 {
+			picked = c.buf
+			break
+		}
+	}
+	if picked == nil {
+		picked = choices[len(choices)-1].buf
+	}
+	part := picked.pickVictimPartition(excluded, s.cfg.P)
+	if part == nil {
+		return nil
+	}
+	return &victimRef{part: part, owner: picked}
+}
+
+// hasDroppable reports whether the buffer has a partition not yet chosen.
+func (b *IndexBuffer) hasDroppable(excluded map[*Partition]bool) bool {
+	for _, p := range b.parts {
+		if !excluded[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// pickVictimPartition applies stage 2: the incomplete partition (X_p < P)
+// has the lowest benefit and goes first; complete partitions follow in
+// descending size n_p (equal benefit, so free the most space).
+func (b *IndexBuffer) pickVictimPartition(excluded map[*Partition]bool, P int) *Partition {
+	var incomplete *Partition
+	var best *Partition
+	for _, p := range b.parts {
+		if excluded[p] {
+			continue
+		}
+		if !p.complete(P) {
+			if incomplete == nil || p.PageCount() < incomplete.PageCount() {
+				incomplete = p
+			}
+			continue
+		}
+		if best == nil || p.EntryCount() > best.EntryCount() {
+			best = p
+		}
+	}
+	if incomplete != nil {
+		return incomplete
+	}
+	return best
+}

@@ -1,0 +1,53 @@
+// Package core implements the paper's primary contribution: the Adaptive
+// Index Buffer. An Index Buffer is a volatile, memory-resident scratch-pad
+// index that complements a partial secondary index. During table scans
+// caused by partial-index misses it indexes the not-yet-covered tuples of
+// selected pages (Algorithm 1), so those pages become fully indexed and
+// can be skipped by later scans. All Index Buffers live in the Index
+// Buffer Space, a bounded share of the database buffer managed by benefit
+// (partition page coverage ÷ LRU-K mean access interval) and size
+// (Algorithm 2, Tables I and II of the paper).
+package core
+
+import (
+	"repro/internal/btree"
+	"repro/internal/csbtree"
+	"repro/internal/hashindex"
+	"repro/internal/storage"
+)
+
+// Structure is the index structure backing one Index Buffer partition.
+// The paper builds on a B*-tree and notes that main-memory structures
+// such as the CSB+-tree or a hash table work equally (§III); all three
+// implementations in this repository satisfy the interface.
+type Structure interface {
+	// Insert adds (key, rid), reporting whether the pair was new.
+	Insert(key storage.Value, rid storage.RID) bool
+	// Delete removes (key, rid), reporting whether the pair was present.
+	Delete(key storage.Value, rid storage.RID) bool
+	// Lookup returns the posting list for key (owned by the structure).
+	Lookup(key storage.Value) []storage.RID
+	// EntryCount returns the number of (key, rid) entries.
+	EntryCount() int
+	// Len returns the number of distinct keys.
+	Len() int
+}
+
+// StructureFactory creates an empty Structure for a new partition.
+type StructureFactory func() Structure
+
+// NewBTreeStructure is the default factory (paper's B*-tree).
+func NewBTreeStructure() Structure { return btree.NewDefault() }
+
+// NewCSBTreeStructure backs partitions with a cache-sensitive B+-tree.
+func NewCSBTreeStructure() Structure { return csbtree.NewDefault() }
+
+// NewHashStructure backs partitions with a chained hash index.
+func NewHashStructure() Structure { return hashindex.New() }
+
+// Compile-time interface checks for all three structures.
+var (
+	_ Structure = (*btree.Tree)(nil)
+	_ Structure = (*csbtree.Tree)(nil)
+	_ Structure = (*hashindex.Index)(nil)
+)

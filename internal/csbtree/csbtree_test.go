@@ -1,0 +1,224 @@
+package csbtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func iv(v int64) storage.Value { return storage.Int64Value(v) }
+func rid(p, s int) storage.RID { return storage.RID{Page: storage.PageID(p), Slot: uint16(s)} }
+
+func TestNewPanicsOnTinyOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("order < 4 should panic")
+		}
+	}()
+	New(2)
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New(4)
+	if !tr.Insert(iv(5), rid(1, 0)) {
+		t.Error("first insert should add")
+	}
+	if tr.Insert(iv(5), rid(1, 0)) {
+		t.Error("duplicate should not add")
+	}
+	tr.Insert(iv(5), rid(0, 3))
+	post := tr.Lookup(iv(5))
+	if len(post) != 2 || post[0] != rid(0, 3) || post[1] != rid(1, 0) {
+		t.Errorf("posting = %v (want RID-sorted)", post)
+	}
+	if tr.Lookup(iv(6)) != nil {
+		t.Error("missing key should be nil")
+	}
+	if !tr.Contains(iv(5), rid(1, 0)) || tr.Contains(iv(5), rid(9, 9)) {
+		t.Error("Contains wrong")
+	}
+	if tr.Len() != 1 || tr.EntryCount() != 2 {
+		t.Errorf("Len=%d Entries=%d", tr.Len(), tr.EntryCount())
+	}
+}
+
+func TestInsertInvalidKeyPanics(t *testing.T) {
+	tr := NewDefault()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid key should panic")
+		}
+	}()
+	tr.Insert(storage.Value{}, rid(0, 0))
+}
+
+func TestDeepTreeOrderedIteration(t *testing.T) {
+	tr := New(4)
+	const n = 3000
+	perm := rand.New(rand.NewSource(9)).Perm(n)
+	for _, k := range perm {
+		if !tr.Insert(iv(int64(k)), rid(k, 0)) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	prev := int64(-1)
+	count := 0
+	tr.Ascend(func(k storage.Value, post []storage.RID) bool {
+		if k.Int64() <= prev {
+			t.Fatalf("iteration out of order: %d after %d", k.Int64(), prev)
+		}
+		prev = k.Int64()
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("iterated %d keys, want %d", count, n)
+	}
+	// Every key still reachable by point lookup after all the splits.
+	for k := 0; k < n; k++ {
+		post := tr.Lookup(iv(int64(k)))
+		if len(post) != 1 || post[0] != rid(k, 0) {
+			t.Fatalf("lookup %d = %v", k, post)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(4)
+	for k := 0; k < 200; k++ {
+		tr.Insert(iv(int64(k)), rid(k, 0))
+	}
+	n := 0
+	tr.Ascend(func(storage.Value, []storage.RID) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestLazyDelete(t *testing.T) {
+	tr := New(4)
+	for k := 0; k < 500; k++ {
+		tr.Insert(iv(int64(k)), rid(k, 0))
+		tr.Insert(iv(int64(k)), rid(k, 1))
+	}
+	if !tr.Delete(iv(250), rid(250, 0)) {
+		t.Error("delete should succeed")
+	}
+	if tr.Delete(iv(250), rid(250, 0)) {
+		t.Error("re-delete should fail")
+	}
+	if tr.Delete(iv(10000), rid(0, 0)) {
+		t.Error("delete of absent key should fail")
+	}
+	if got := tr.Lookup(iv(250)); len(got) != 1 || got[0] != rid(250, 1) {
+		t.Errorf("posting after delete = %v", got)
+	}
+	// Empty a key completely: it disappears from iteration.
+	tr.Delete(iv(250), rid(250, 1))
+	if tr.Lookup(iv(250)) != nil {
+		t.Error("fully deleted key should be gone")
+	}
+	if tr.Len() != 499 {
+		t.Errorf("Len = %d, want 499", tr.Len())
+	}
+	seen := false
+	tr.Ascend(func(k storage.Value, _ []storage.RID) bool {
+		if k.Int64() == 250 {
+			seen = true
+		}
+		return true
+	})
+	if seen {
+		t.Error("deleted key surfaced in iteration")
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := New(8)
+	model := map[int64]map[storage.RID]bool{}
+	entries := 0
+	for step := 0; step < 10000; step++ {
+		k := rng.Int63n(400)
+		r := rid(rng.Intn(60), rng.Intn(3))
+		if rng.Intn(3) > 0 { // insert-biased so the tree grows
+			added := tr.Insert(iv(k), r)
+			if added == model[k][r] {
+				t.Fatalf("step %d: insert(%d,%v) added=%v model has=%v", step, k, r, added, model[k][r])
+			}
+			if model[k] == nil {
+				model[k] = map[storage.RID]bool{}
+			}
+			if added {
+				model[k][r] = true
+				entries++
+			}
+		} else {
+			removed := tr.Delete(iv(k), r)
+			if removed != model[k][r] {
+				t.Fatalf("step %d: delete(%d,%v) removed=%v model has=%v", step, k, r, removed, model[k][r])
+			}
+			if removed {
+				delete(model[k], r)
+				if len(model[k]) == 0 {
+					delete(model, k)
+				}
+				entries--
+			}
+		}
+	}
+	if tr.EntryCount() != entries || tr.Len() != len(model) {
+		t.Fatalf("Len=%d/%d Entries=%d/%d", tr.Len(), len(model), tr.EntryCount(), entries)
+	}
+	for k, rids := range model {
+		post := tr.Lookup(iv(k))
+		if len(post) != len(rids) {
+			t.Fatalf("key %d: posting %v, model %v", k, post, rids)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(keys []int64) bool {
+		tr := New(5)
+		for i, k := range keys {
+			tr.Insert(iv(k), rid(i, 0))
+		}
+		for i, k := range keys {
+			if !tr.Delete(iv(k), rid(i, 0)) {
+				return false
+			}
+		}
+		return tr.Len() == 0 && tr.EntryCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New(4)
+	words := []string{"HEL", "FRA", "ORD", "JFK", "MUC"}
+	for i, w := range words {
+		tr.Insert(storage.StringValue(w), rid(i, 0))
+	}
+	if post := tr.Lookup(storage.StringValue("HEL")); len(post) != 1 || post[0] != rid(0, 0) {
+		t.Errorf("HEL = %v", post)
+	}
+	prev := ""
+	tr.Ascend(func(k storage.Value, _ []storage.RID) bool {
+		if k.Str() <= prev && prev != "" {
+			t.Errorf("order: %q after %q", k.Str(), prev)
+		}
+		prev = k.Str()
+		return true
+	})
+}

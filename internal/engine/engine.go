@@ -1,0 +1,481 @@
+// Package engine assembles the substrates into a small database engine:
+// heap tables on a simulated disk behind a buffer pool, at most one
+// partial secondary index per column, and an Index Buffer Space shared by
+// every partial index. It exposes the DML and query surface the paper's
+// experiments run against.
+//
+// The engine serializes all operations with one exclusive lock: queries
+// are writers here, because an indexing scan mutates the Index Buffer
+// (that is its purpose) and every query advances the LRU-K histories.
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Config configures a new engine.
+type Config struct {
+	// PoolPages is the buffer-pool capacity in pages per table. The
+	// default (256 = 2 MiB) is far below the experiment table sizes, so
+	// scans are disk-bound as in the paper. Zero means the default.
+	PoolPages int
+
+	// Space configures the Index Buffer Space (I^MAX, P, K, L, structure,
+	// rand); see core.Config.
+	Space core.Config
+
+	// DisableIndexBuffer turns the Index Buffer machinery off: partial
+	// index misses degrade to full table scans. This is the paper's
+	// baseline system.
+	DisableIndexBuffer bool
+
+	// DataDir, when non-empty, backs each table with a real file
+	// (<DataDir>/<table>.pages) instead of the in-memory simulated disk.
+	// The files are truncated on creation; Close releases them.
+	DataDir string
+
+	// ReadLatency and WriteLatency, when positive, charge each simulated
+	// device access with a sleep so wall-clock curves take a real
+	// device's shape. Ignored for file-backed tables (they have real
+	// latency).
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+}
+
+const defaultPoolPages = 256
+
+// Engine is the top-level database object. Safe for concurrent use.
+type Engine struct {
+	mu     sync.Mutex
+	cfg    Config
+	space  *core.Space
+	tables map[string]*Table
+	tracer *trace.Tracer
+}
+
+// traceCapacity is the query-event ring size of the built-in tracer.
+const traceCapacity = 512
+
+// New creates an empty engine.
+func New(cfg Config) *Engine {
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = defaultPoolPages
+	}
+	return &Engine{
+		cfg:    cfg,
+		space:  core.NewSpace(cfg.Space),
+		tables: make(map[string]*Table),
+		tracer: trace.New(traceCapacity),
+	}
+}
+
+// Tracer exposes the engine's query monitor.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// Space exposes the Index Buffer Space for inspection (entry counts,
+// stats). Callers must not mutate it.
+func (e *Engine) Space() *core.Space { return e.space }
+
+// Close flushes every table's buffer pool and closes file-backed stores.
+// It is a no-op for purely in-memory engines.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, t := range e.tables {
+		if err := t.pool.FlushAll(); err != nil && first == nil {
+			first = err
+		}
+		if c, ok := t.store.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// pageStore is the store surface the engine needs: device ops plus the
+// logical I/O counters both backends expose.
+type pageStore interface {
+	buffer.Store
+	Stats() buffer.IOStats
+}
+
+// Table is one heap table with its indexes and Index Buffers.
+type Table struct {
+	engine  *Engine
+	name    string
+	schema  *storage.Schema
+	store   pageStore
+	pool    *buffer.Pool
+	heap    *heap.Table
+	indexes map[int]*index.Partial    // by column ordinal
+	buffers map[int]*core.IndexBuffer // by column ordinal
+}
+
+// CreateTable registers a new empty table.
+func (e *Engine) CreateTable(name string, schema *storage.Schema) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[name]; dup {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	var store pageStore
+	if e.cfg.DataDir != "" {
+		fs, err := buffer.OpenFileStore(filepath.Join(e.cfg.DataDir, name+".pages"))
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	} else {
+		sd := buffer.NewSimDisk()
+		if e.cfg.ReadLatency > 0 || e.cfg.WriteLatency > 0 {
+			sd.SetLatency(e.cfg.ReadLatency, e.cfg.WriteLatency)
+		}
+		store = sd
+	}
+	pool, err := buffer.NewPool(store, e.cfg.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		engine:  e,
+		name:    name,
+		schema:  schema,
+		store:   store,
+		pool:    pool,
+		heap:    heap.NewTable(schema, pool),
+		indexes: make(map[int]*index.Partial),
+		buffers: make(map[int]*core.IndexBuffer),
+	}
+	e.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (e *Engine) Table(name string) *Table {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tables[name]
+}
+
+// TableNames returns all table names, sorted.
+func (e *Engine) TableNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *storage.Schema { return t.schema }
+
+// NumPages returns the heap page count.
+func (t *Table) NumPages() int {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	return t.heap.NumPages()
+}
+
+// DiskStats returns device-level I/O counters for the table's store.
+func (t *Table) DiskStats() buffer.IOStats { return t.store.Stats() }
+
+// PoolStats returns the table's buffer-pool counters.
+func (t *Table) PoolStats() buffer.PoolStats { return t.pool.Stats() }
+
+// Index returns the partial index on the column, or nil.
+func (t *Table) Index(column int) *index.Partial {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	return t.indexes[column]
+}
+
+// Buffer returns the Index Buffer on the column, or nil.
+func (t *Table) Buffer(column int) *core.IndexBuffer {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	return t.buffers[column]
+}
+
+// checkColumn validates a column ordinal.
+func (t *Table) checkColumn(column int) error {
+	if column < 0 || column >= t.schema.NumColumns() {
+		return fmt.Errorf("engine: table %s has no column %d", t.name, column)
+	}
+	return nil
+}
+
+// bufferName is the Index Buffer's key in the Space.
+func (t *Table) bufferName(column int) string {
+	return fmt.Sprintf("%s.%s", t.name, t.schema.Column(column).Name)
+}
+
+// CreatePartialIndex builds a partial index over the column with the
+// given coverage, scanning the table once. Unless the engine disables
+// Index Buffers, it also creates the column's Index Buffer and
+// initializes the page counters — "the number of tuples in the page minus
+// the tuples covered by the partial index" (paper §III).
+func (t *Table) CreatePartialIndex(column int, cov index.Coverage) error {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	if err := t.checkColumn(column); err != nil {
+		return err
+	}
+	if _, dup := t.indexes[column]; dup {
+		return fmt.Errorf("engine: column %d of %s already indexed", column, t.name)
+	}
+	ix := index.NewPartial(t.bufferName(column), column, cov)
+	uncovered := make([]int, t.heap.NumPages())
+	err := t.heap.Scan(func(rid storage.RID, tu storage.Tuple) error {
+		v := tu.Value(column)
+		if !ix.Add(v, rid) {
+			uncovered[rid.Page]++
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("engine: building index on %s: %w", t.bufferName(column), err)
+	}
+	t.indexes[column] = ix
+
+	if !t.engine.cfg.DisableIndexBuffer {
+		b, err := t.engine.space.CreateBuffer(t.bufferName(column), uncovered)
+		if err != nil {
+			return err
+		}
+		t.buffers[column] = b
+	}
+	return nil
+}
+
+// DropIndex removes the column's partial index and its Index Buffer,
+// releasing the buffer's Index Buffer Space.
+func (t *Table) DropIndex(column int) error {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	if t.indexes[column] == nil {
+		return fmt.Errorf("engine: column %d of %s has no index", column, t.name)
+	}
+	delete(t.indexes, column)
+	if t.buffers[column] != nil {
+		t.engine.space.DropBuffer(t.bufferName(column))
+		delete(t.buffers, column)
+	}
+	return nil
+}
+
+// RedefineIndex changes the partial index's coverage (the expensive
+// disk-side adaptation step). The column's Index Buffer is discarded and
+// recreated with counters matching the new coverage, since its contents
+// were defined relative to the old predicate.
+func (t *Table) RedefineIndex(column int, cov index.Coverage) error {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	ix := t.indexes[column]
+	if ix == nil {
+		return fmt.Errorf("engine: column %d of %s has no index", column, t.name)
+	}
+	if _, err := ix.Rebuild(cov, t.heap); err != nil {
+		return err
+	}
+	if t.buffers[column] == nil {
+		return nil
+	}
+	t.engine.space.DropBuffer(t.bufferName(column))
+	uncovered := make([]int, t.heap.NumPages())
+	err := t.heap.Scan(func(rid storage.RID, tu storage.Tuple) error {
+		if !cov.Covers(tu.Value(column)) {
+			uncovered[rid.Page]++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	b, err := t.engine.space.CreateBuffer(t.bufferName(column), uncovered)
+	if err != nil {
+		return err
+	}
+	t.buffers[column] = b
+	return nil
+}
+
+// Insert adds a tuple, maintaining every index and Index Buffer.
+func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	rid, err := t.heap.Insert(tu)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	for col, ix := range t.indexes {
+		v := tu.Value(col)
+		inIX := ix.Covers(v)
+		if inIX {
+			ix.Add(v, rid)
+		}
+		if b := t.buffers[col]; b != nil {
+			b.MaintainInsert(v, rid, inIX)
+		}
+	}
+	return rid, nil
+}
+
+// Get fetches the tuple at rid.
+func (t *Table) Get(rid storage.RID) (storage.Tuple, error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	return t.heap.Get(rid)
+}
+
+// Delete removes the tuple at rid, maintaining indexes and buffers.
+func (t *Table) Delete(rid storage.RID) error {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	old, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.Delete(rid); err != nil {
+		return err
+	}
+	for col, ix := range t.indexes {
+		v := old.Value(col)
+		wasInIX := ix.Covers(v)
+		if wasInIX {
+			ix.Remove(v, rid)
+		}
+		if b := t.buffers[col]; b != nil {
+			b.MaintainDelete(v, rid, wasInIX)
+		}
+	}
+	return nil
+}
+
+// Update replaces the tuple at rid, returning the possibly relocated RID
+// and maintaining indexes and buffers per the paper's Table I.
+func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	old, err := t.heap.Get(rid)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	newRID, err := t.heap.Update(rid, tu)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	for col, ix := range t.indexes {
+		oldV, newV := old.Value(col), tu.Value(col)
+		oldIn, newIn := ix.Covers(oldV), ix.Covers(newV)
+		ix.Update(oldV, newV, rid, newRID)
+		if b := t.buffers[col]; b != nil {
+			b.MaintainUpdate(oldV, newV, rid, newRID, oldIn, newIn)
+		}
+	}
+	return newRID, nil
+}
+
+// Scan iterates every live tuple (a raw full scan, no buffer effects).
+func (t *Table) Scan(fn func(storage.RID, storage.Tuple) error) error {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	return t.heap.Scan(fn)
+}
+
+// Count returns the live tuple count.
+func (t *Table) Count() (int, error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	n := 0
+	err := t.heap.Scan(func(storage.RID, storage.Tuple) error { n++; return nil })
+	return n, err
+}
+
+// QueryEqual answers column = key through the best available access
+// path, maintaining the Index Buffer machinery as a side effect.
+func (t *Table) QueryEqual(column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	a, err := t.accessLocked(column)
+	if err != nil {
+		return nil, exec.QueryStats{}, err
+	}
+	matches, stats, err := exec.Equal(a, key)
+	if err == nil {
+		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
+	}
+	return matches, stats, err
+}
+
+// QueryRange answers lo <= column <= hi. The partial index serves the
+// query only when its predicate covers the whole interval; otherwise the
+// query runs through the same indexing-scan machinery as a point miss.
+func (t *Table) QueryRange(column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	a, err := t.accessLocked(column)
+	if err != nil {
+		return nil, exec.QueryStats{}, err
+	}
+	matches, stats, err := exec.Range(a, lo, hi)
+	if err == nil {
+		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
+	}
+	return matches, stats, err
+}
+
+// ExplainEqual plans column = key without executing or mutating state.
+func (t *Table) ExplainEqual(column int, key storage.Value) (exec.Plan, error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	a, err := t.accessLocked(column)
+	if err != nil {
+		return exec.Plan{}, err
+	}
+	return exec.ExplainEqual(a, key), nil
+}
+
+// ExplainRange plans lo <= column <= hi without executing.
+func (t *Table) ExplainRange(column int, lo, hi storage.Value) (exec.Plan, error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	a, err := t.accessLocked(column)
+	if err != nil {
+		return exec.Plan{}, err
+	}
+	return exec.ExplainRange(a, lo, hi), nil
+}
+
+func (t *Table) accessLocked(column int) (exec.Access, error) {
+	if err := t.checkColumn(column); err != nil {
+		return exec.Access{}, err
+	}
+	return exec.Access{
+		Table:  t.heap,
+		Column: column,
+		Index:  t.indexes[column],
+		Buffer: t.buffers[column],
+		Space:  t.engine.space,
+	}, nil
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// Save persists the engine's catalog and flushes every table's pages.
+// The engine must have been created with a DataDir; in-memory engines
+// have nothing durable to save. Index Buffers are not persisted — they
+// are volatile by design (paper §III) and start empty after Load.
+func (e *Engine) Save() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.DataDir == "" {
+		return fmt.Errorf("engine: Save requires a DataDir-backed engine")
+	}
+
+	var cat catalog.Catalog
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := e.tables[n]
+		if err := t.pool.FlushAll(); err != nil {
+			return fmt.Errorf("engine: flushing %s: %w", n, err)
+		}
+		if fs, ok := t.store.(*buffer.FileStore); ok {
+			if err := fs.Sync(); err != nil {
+				return fmt.Errorf("engine: syncing %s: %w", n, err)
+			}
+		}
+		tm := catalog.TableMeta{Name: n, NumPages: t.heap.NumPages()}
+		for c := 0; c < t.schema.NumColumns(); c++ {
+			col := t.schema.Column(c)
+			kind, err := catalog.EncodeKind(col.Kind)
+			if err != nil {
+				return err
+			}
+			tm.Columns = append(tm.Columns, catalog.ColumnMeta{Name: col.Name, Kind: kind})
+		}
+		cols := make([]int, 0, len(t.indexes))
+		for c := range t.indexes {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			cov, err := catalog.EncodeCoverage(t.indexes[c].Coverage())
+			if err != nil {
+				return fmt.Errorf("engine: index on %s column %d: %w", n, c, err)
+			}
+			tm.Indexes = append(tm.Indexes, catalog.IndexMeta{Column: c, Coverage: cov})
+		}
+		cat.Tables = append(cat.Tables, tm)
+	}
+	return catalog.Save(e.cfg.DataDir, cat)
+}
+
+// Load opens a previously saved database from cfg.DataDir: it reattaches
+// every table's page file, rebuilds the partial indexes by scanning, and
+// creates fresh, empty Index Buffers with counters initialized against
+// the loaded indexes.
+func Load(cfg Config) (*Engine, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("engine: Load requires a DataDir")
+	}
+	cat, err := catalog.Load(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	e := New(cfg)
+
+	for _, tm := range cat.Tables {
+		cols := make([]storage.Column, len(tm.Columns))
+		for i, cm := range tm.Columns {
+			kind, err := catalog.DecodeKind(cm.Kind)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = storage.Column{Name: cm.Name, Kind: kind}
+		}
+		schema, err := storage.NewSchema(cols...)
+		if err != nil {
+			return nil, fmt.Errorf("engine: loading %s: %w", tm.Name, err)
+		}
+		store, err := buffer.OpenFileStoreExisting(filepath.Join(cfg.DataDir, tm.Name+".pages"))
+		if err != nil {
+			return nil, err
+		}
+		if store.NumPages() < tm.NumPages {
+			store.Close()
+			return nil, fmt.Errorf("engine: table %s: catalog says %d pages, file has %d", tm.Name, tm.NumPages, store.NumPages())
+		}
+		pool, err := buffer.NewPool(store, e.cfg.PoolPages)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		hp, err := heap.OpenTable(schema, pool, tm.NumPages)
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("engine: reopening heap %s: %w", tm.Name, err)
+		}
+		t := &Table{
+			engine:  e,
+			name:    tm.Name,
+			schema:  schema,
+			store:   store,
+			pool:    pool,
+			heap:    hp,
+			indexes: make(map[int]*index.Partial),
+			buffers: make(map[int]*core.IndexBuffer),
+		}
+		e.tables[tm.Name] = t
+
+		for _, im := range tm.Indexes {
+			cov, err := im.Coverage.DecodeCoverage()
+			if err != nil {
+				return nil, fmt.Errorf("engine: index on %s column %d: %w", tm.Name, im.Column, err)
+			}
+			// CreatePartialIndex rebuilds the tree by scanning and wires
+			// up a fresh, empty Index Buffer with new counters — the
+			// buffer is volatile and never survives a restart.
+			if err := t.CreatePartialIndex(im.Column, cov); err != nil {
+				return nil, fmt.Errorf("engine: rebuilding index on %s column %d: %w", tm.Name, im.Column, err)
+			}
+		}
+	}
+	return e, nil
+}

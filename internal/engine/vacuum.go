@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/buffer"
+	"repro/internal/heap"
+	"repro/internal/storage"
+)
+
+// Vacuum rewrites the table's heap densely — live tuples packed into
+// fresh pages with no dead slots — and rebuilds every partial index and
+// Index Buffer against the new layout. It reclaims the space of deleted
+// and relocated tuples after heavy DML.
+//
+// All RIDs change; external holders of RIDs must re-query. The Index
+// Buffers restart empty (their entries referenced old RIDs), with
+// counters initialized against the new pages — the same volatile restart
+// the paper's design permits. For file-backed tables the page file is
+// rewritten via a temporary file renamed into place. Vacuum returns the
+// page counts before and after.
+func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+
+	pagesBefore = t.heap.NumPages()
+
+	// Stage the replacement heap on a fresh store.
+	var newStore pageStore
+	var tmpPath string
+	if t.engine.cfg.DataDir != "" {
+		tmpPath = filepath.Join(t.engine.cfg.DataDir, t.name+".pages.vacuum")
+		fs, err := buffer.OpenFileStore(tmpPath)
+		if err != nil {
+			return pagesBefore, 0, err
+		}
+		newStore = fs
+	} else {
+		newStore = buffer.NewSimDisk()
+	}
+	cleanupTmp := func() {
+		if tmpPath != "" {
+			if c, ok := newStore.(*buffer.FileStore); ok {
+				c.Close()
+			}
+			os.Remove(tmpPath)
+		}
+	}
+
+	newPool, err := buffer.NewPool(newStore, t.engine.cfg.PoolPages)
+	if err != nil {
+		cleanupTmp()
+		return pagesBefore, 0, err
+	}
+	newHeap := heap.NewTable(t.schema, newPool)
+	err = t.heap.Scan(func(_ storage.RID, tu storage.Tuple) error {
+		_, err := newHeap.Insert(tu)
+		return err
+	})
+	if err != nil {
+		cleanupTmp()
+		return pagesBefore, 0, fmt.Errorf("engine: vacuum copy of %s: %w", t.name, err)
+	}
+
+	// For file-backed tables, persist the staged pages and move the file
+	// into place; the open descriptor stays valid across the rename.
+	if tmpPath != "" {
+		if err := newPool.FlushAll(); err != nil {
+			cleanupTmp()
+			return pagesBefore, 0, err
+		}
+		fs := newStore.(*buffer.FileStore)
+		if err := fs.Sync(); err != nil {
+			cleanupTmp()
+			return pagesBefore, 0, err
+		}
+		if old, ok := t.store.(*buffer.FileStore); ok {
+			_ = old.Close()
+		}
+		final := filepath.Join(t.engine.cfg.DataDir, t.name+".pages")
+		if err := os.Rename(tmpPath, final); err != nil {
+			cleanupTmp()
+			return pagesBefore, 0, fmt.Errorf("engine: vacuum swap of %s: %w", t.name, err)
+		}
+	}
+
+	// Swap the heap in, then rebuild index contents and buffers against
+	// the new RIDs.
+	t.store = newStore
+	t.pool = newPool
+	t.heap = newHeap
+
+	for col, ix := range t.indexes {
+		if _, err := ix.Rebuild(ix.Coverage(), t.heap); err != nil {
+			return pagesBefore, 0, fmt.Errorf("engine: vacuum reindex of %s: %w", t.name, err)
+		}
+		if t.buffers[col] == nil {
+			continue
+		}
+		t.engine.space.DropBuffer(t.bufferName(col))
+		uncovered := make([]int, t.heap.NumPages())
+		err := t.heap.Scan(func(rid storage.RID, tu storage.Tuple) error {
+			if !ix.Covers(tu.Value(col)) {
+				uncovered[rid.Page]++
+			}
+			return nil
+		})
+		if err != nil {
+			return pagesBefore, 0, err
+		}
+		b, err := t.engine.space.CreateBuffer(t.bufferName(col), uncovered)
+		if err != nil {
+			return pagesBefore, 0, err
+		}
+		t.buffers[col] = b
+	}
+	return pagesBefore, t.heap.NumPages(), nil
+}

@@ -1,0 +1,184 @@
+// Package exec implements query execution over a heap table with a
+// partial secondary index and an optional Index Buffer. Its centerpiece
+// is the indexing table scan of the paper's Algorithm 1: a scan that
+// consults the Index Buffer, skips fully indexed pages (counter C[p] ==
+// 0), and opportunistically indexes the pages selected by Algorithm 2.
+package exec
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// Match is one result tuple with its physical address.
+type Match struct {
+	RID   storage.RID
+	Tuple storage.Tuple
+}
+
+// QueryStats describes the cost and effect of one query. PagesRead is the
+// engine's logical I/O — the quantity the paper's runtime curves are
+// shaped by; pages served from the buffer pool still count, since the
+// paper's 220 MB table does not fit its buffer either.
+type QueryStats struct {
+	Key        storage.Value
+	PartialHit bool // answered by the partial index
+	FullScan   bool // no buffer available: plain full table scan
+
+	Matches       int // result tuples
+	BufferMatches int // results obtained from the Index Buffer
+
+	PagesRead     int // heap pages fetched (scan + RID materialization)
+	PagesSkipped  int // pages skipped because C[p] == 0
+	PagesSelected int // pages newly indexed this scan (|I|)
+	EntriesAdded  int // Index Buffer entries inserted this scan
+
+	Duration time.Duration
+}
+
+// Access bundles the storage objects a point query needs. Index and
+// Buffer may be nil (no partial index / no Index Buffer on the column);
+// Space must be non-nil whenever Buffer is.
+type Access struct {
+	Table  *heap.Table
+	Column int
+	Index  *index.Partial
+	Buffer *core.IndexBuffer
+	Space  *core.Space
+}
+
+// Equal answers the equality query column = key, maintaining the Index
+// Buffer along the way. It is the top-level dispatch: partial-index hit →
+// index scan; miss with a buffer → Algorithm 1; miss without → full scan.
+func Equal(a Access, key storage.Value) ([]Match, QueryStats, error) {
+	start := time.Now()
+	stats := QueryStats{Key: key}
+
+	hit := a.Index != nil && a.Index.Covers(key)
+	stats.PartialHit = hit
+	if a.Space != nil {
+		// Table II: advance every buffer's LRU-K history for this query.
+		a.Space.OnQuery(a.Buffer, hit)
+	}
+
+	var out []Match
+	var err error
+	switch {
+	case hit:
+		out, err = fetchRIDs(a, a.Index.Lookup(key), &stats)
+	case a.Buffer != nil:
+		out, err = indexingScan(a, key, &stats)
+	default:
+		stats.FullScan = true
+		out, err = fullScan(a, key, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Matches = len(out)
+	stats.Duration = time.Since(start)
+	return out, stats, nil
+}
+
+// fetchRIDs materializes tuples for a posting list, page by page so each
+// page is read once.
+func fetchRIDs(a Access, rids []storage.RID, stats *QueryStats) ([]Match, error) {
+	if len(rids) == 0 {
+		return nil, nil
+	}
+	sorted := append([]storage.RID(nil), rids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+
+	var out []Match
+	var lastPage storage.PageID
+	for i, rid := range sorted {
+		if i == 0 || rid.Page != lastPage {
+			stats.PagesRead++
+			lastPage = rid.Page
+		}
+		tu, err := a.Table.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Match{RID: rid, Tuple: tu})
+	}
+	return out, nil
+}
+
+// indexingScan is the paper's Algorithm 1. The page set I to index comes
+// from Algorithm 2 (Space.SelectPagesForBuffer), which also performs any
+// displacement needed to make room.
+func indexingScan(a Access, key storage.Value, stats *QueryStats) ([]Match, error) {
+	numPages := a.Table.NumPages()
+	selected := a.Space.SelectPagesForBuffer(a.Buffer, numPages) // I ← SelectPagesForBuffer()
+	stats.PagesSelected = len(selected)
+	inI := make(map[storage.PageID]bool, len(selected))
+	for _, p := range selected {
+		inI[p] = true
+	}
+
+	// Index Buffer scan (lines 8–10): matches on fully indexed pages.
+	bufferRIDs := a.Buffer.Lookup(key)
+	out, err := fetchRIDs(a, bufferRIDs, stats)
+	if err != nil {
+		return nil, err
+	}
+	stats.BufferMatches = len(out)
+
+	// Table scan (lines 11–17): skip pages with C[p] == 0.
+	for p := 0; p < numPages; p++ {
+		pg := storage.PageID(p)
+		if a.Buffer.Counter(pg) == 0 {
+			stats.PagesSkipped++
+			continue
+		}
+		indexThis := inI[pg]
+		if indexThis {
+			if err := a.Buffer.BeginPage(pg); err != nil {
+				return nil, err
+			}
+		}
+		stats.PagesRead++
+		err := a.Table.ScanPage(pg, func(rid storage.RID, tu storage.Tuple) error {
+			v := tu.Value(a.Column)
+			if v.Equal(key) {
+				out = append(out, Match{RID: rid, Tuple: tu})
+			}
+			if indexThis && (a.Index == nil || !a.Index.Covers(v)) {
+				if err := a.Buffer.AddEntry(pg, v, rid); err != nil {
+					return err
+				}
+				stats.EntriesAdded++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// fullScan reads every page — the baseline cost the Index Buffer avoids.
+func fullScan(a Access, key storage.Value, stats *QueryStats) ([]Match, error) {
+	var out []Match
+	numPages := a.Table.NumPages()
+	for p := 0; p < numPages; p++ {
+		stats.PagesRead++
+		err := a.Table.ScanPage(storage.PageID(p), func(rid storage.RID, tu storage.Tuple) error {
+			if tu.Value(a.Column).Equal(key) {
+				out = append(out, Match{RID: rid, Tuple: tu})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package hashindex implements a chained hash index mapping values to
+// RID posting lists — the third index structure the paper names as a
+// valid Index Buffer backend (§III: "a hash table can be used too").
+// Unlike the tree structures it offers no ordered iteration, which is
+// irrelevant for the Index Buffer's equality-predicate workload.
+package hashindex
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// defaultBuckets is the initial bucket count.
+const defaultBuckets = 16
+
+// maxLoad triggers a doubling resize when entries/buckets exceeds it.
+const maxLoad = 4.0
+
+type entry struct {
+	key  storage.Value
+	post []storage.RID
+	next *entry
+}
+
+// Index is a chained hash index. Not safe for concurrent use.
+type Index struct {
+	buckets  []*entry
+	distinct int
+	entries  int
+}
+
+// New creates an empty hash index.
+func New() *Index {
+	return &Index{buckets: make([]*entry, defaultBuckets)}
+}
+
+// Len returns the number of distinct keys.
+func (ix *Index) Len() int { return ix.distinct }
+
+// EntryCount returns the number of (key, rid) entries.
+func (ix *Index) EntryCount() int { return ix.entries }
+
+// NumBuckets is exposed for tests of the resize policy.
+func (ix *Index) NumBuckets() int { return len(ix.buckets) }
+
+// hash folds the value's encoded bytes (prefixed by kind to separate
+// domains) through FNV-1a.
+func hashValue(v storage.Value) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(v.Kind())})
+	h.Write(v.AppendEncode(nil))
+	return h.Sum64()
+}
+
+func (ix *Index) bucket(v storage.Value) int {
+	return int(hashValue(v) % uint64(len(ix.buckets)))
+}
+
+func (ix *Index) find(key storage.Value) *entry {
+	for e := ix.buckets[ix.bucket(key)]; e != nil; e = e.next {
+		if e.key.Equal(key) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert adds (key, rid); a duplicate pair returns false.
+func (ix *Index) Insert(key storage.Value, rid storage.RID) bool {
+	if !key.IsValid() {
+		panic("hashindex: insert of invalid key")
+	}
+	e := ix.find(key)
+	if e == nil {
+		b := ix.bucket(key)
+		ix.buckets[b] = &entry{key: key, post: []storage.RID{rid}, next: ix.buckets[b]}
+		ix.distinct++
+		ix.entries++
+		ix.maybeGrow()
+		return true
+	}
+	j := sort.Search(len(e.post), func(j int) bool { return !e.post[j].Less(rid) })
+	if j < len(e.post) && e.post[j] == rid {
+		return false
+	}
+	e.post = append(e.post, storage.RID{})
+	copy(e.post[j+1:], e.post[j:])
+	e.post[j] = rid
+	ix.entries++
+	return true
+}
+
+// Delete removes (key, rid); returns false when absent.
+func (ix *Index) Delete(key storage.Value, rid storage.RID) bool {
+	b := ix.bucket(key)
+	var prev *entry
+	for e := ix.buckets[b]; e != nil; prev, e = e, e.next {
+		if !e.key.Equal(key) {
+			continue
+		}
+		j := sort.Search(len(e.post), func(j int) bool { return !e.post[j].Less(rid) })
+		if j >= len(e.post) || e.post[j] != rid {
+			return false
+		}
+		e.post = append(e.post[:j], e.post[j+1:]...)
+		ix.entries--
+		if len(e.post) == 0 {
+			if prev == nil {
+				ix.buckets[b] = e.next
+			} else {
+				prev.next = e.next
+			}
+			ix.distinct--
+		}
+		return true
+	}
+	return false
+}
+
+// Lookup returns the posting list for key, or nil. The slice is owned by
+// the index.
+func (ix *Index) Lookup(key storage.Value) []storage.RID {
+	if e := ix.find(key); e != nil {
+		return e.post
+	}
+	return nil
+}
+
+// Contains reports whether (key, rid) is present.
+func (ix *Index) Contains(key storage.Value, rid storage.RID) bool {
+	for _, r := range ix.Lookup(key) {
+		if r == rid {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every (key, posting) in unspecified order until fn
+// returns false.
+func (ix *Index) ForEach(fn func(key storage.Value, post []storage.RID) bool) {
+	for _, head := range ix.buckets {
+		for e := head; e != nil; e = e.next {
+			if !fn(e.key, e.post) {
+				return
+			}
+		}
+	}
+}
+
+// maybeGrow doubles the bucket array when the load factor exceeds
+// maxLoad, rehashing every chain.
+func (ix *Index) maybeGrow() {
+	if float64(ix.distinct)/float64(len(ix.buckets)) <= maxLoad {
+		return
+	}
+	old := ix.buckets
+	ix.buckets = make([]*entry, 2*len(old))
+	for _, head := range old {
+		for e := head; e != nil; {
+			next := e.next
+			b := ix.bucket(e.key)
+			e.next = ix.buckets[b]
+			ix.buckets[b] = e
+			e = next
+		}
+	}
+}

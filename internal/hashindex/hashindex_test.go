@@ -1,0 +1,172 @@
+package hashindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func iv(v int64) storage.Value { return storage.Int64Value(v) }
+func rid(p, s int) storage.RID { return storage.RID{Page: storage.PageID(p), Slot: uint16(s)} }
+
+func TestInsertLookupDelete(t *testing.T) {
+	ix := New()
+	if !ix.Insert(iv(1), rid(1, 0)) {
+		t.Error("first insert should add")
+	}
+	if ix.Insert(iv(1), rid(1, 0)) {
+		t.Error("duplicate should not add")
+	}
+	ix.Insert(iv(1), rid(0, 5))
+	post := ix.Lookup(iv(1))
+	if len(post) != 2 || post[0] != rid(0, 5) || post[1] != rid(1, 0) {
+		t.Errorf("posting = %v (want RID-sorted)", post)
+	}
+	if ix.Lookup(iv(2)) != nil {
+		t.Error("missing key should be nil")
+	}
+	if !ix.Delete(iv(1), rid(0, 5)) {
+		t.Error("delete should succeed")
+	}
+	if ix.Delete(iv(1), rid(0, 5)) {
+		t.Error("re-delete should fail")
+	}
+	if ix.Delete(iv(99), rid(0, 0)) {
+		t.Error("delete of absent key should fail")
+	}
+	if ix.Len() != 1 || ix.EntryCount() != 1 {
+		t.Errorf("Len=%d Entries=%d", ix.Len(), ix.EntryCount())
+	}
+	ix.Delete(iv(1), rid(1, 0))
+	if ix.Len() != 0 || ix.Lookup(iv(1)) != nil {
+		t.Error("emptied key should be gone")
+	}
+}
+
+func TestInsertInvalidKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid key should panic")
+		}
+	}()
+	New().Insert(storage.Value{}, rid(0, 0))
+}
+
+func TestGrowRehash(t *testing.T) {
+	ix := New()
+	before := ix.NumBuckets()
+	const n = 1000
+	for k := 0; k < n; k++ {
+		ix.Insert(iv(int64(k)), rid(k, 0))
+	}
+	if ix.NumBuckets() <= before {
+		t.Errorf("buckets did not grow: %d", ix.NumBuckets())
+	}
+	for k := 0; k < n; k++ {
+		post := ix.Lookup(iv(int64(k)))
+		if len(post) != 1 || post[0] != rid(k, 0) {
+			t.Fatalf("after rehash, key %d = %v", k, post)
+		}
+	}
+	if ix.Len() != n {
+		t.Errorf("Len = %d, want %d", ix.Len(), n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	ix := New()
+	for k := 0; k < 50; k++ {
+		ix.Insert(iv(int64(k)), rid(k, 0))
+	}
+	seen := map[int64]bool{}
+	ix.ForEach(func(k storage.Value, post []storage.RID) bool {
+		if seen[k.Int64()] {
+			t.Errorf("key %d visited twice", k.Int64())
+		}
+		seen[k.Int64()] = true
+		return true
+	})
+	if len(seen) != 50 {
+		t.Errorf("visited %d keys, want 50", len(seen))
+	}
+	// Early stop.
+	n := 0
+	ix.ForEach(func(storage.Value, []storage.RID) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestStringAndIntKeysCoexist(t *testing.T) {
+	ix := New()
+	ix.Insert(storage.StringValue("FRA"), rid(1, 0))
+	ix.Insert(iv(42), rid(2, 0))
+	if post := ix.Lookup(storage.StringValue("FRA")); len(post) != 1 || post[0] != rid(1, 0) {
+		t.Errorf("FRA = %v", post)
+	}
+	if post := ix.Lookup(iv(42)); len(post) != 1 || post[0] != rid(2, 0) {
+		t.Errorf("42 = %v", post)
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ix := New()
+	model := map[int64]map[storage.RID]bool{}
+	entries := 0
+	for step := 0; step < 10000; step++ {
+		k := rng.Int63n(300)
+		r := rid(rng.Intn(40), rng.Intn(4))
+		if rng.Intn(2) == 0 {
+			added := ix.Insert(iv(k), r)
+			if added == model[k][r] {
+				t.Fatalf("step %d: insert mismatch", step)
+			}
+			if model[k] == nil {
+				model[k] = map[storage.RID]bool{}
+			}
+			if added {
+				model[k][r] = true
+				entries++
+			}
+		} else {
+			removed := ix.Delete(iv(k), r)
+			if removed != model[k][r] {
+				t.Fatalf("step %d: delete mismatch", step)
+			}
+			if removed {
+				delete(model[k], r)
+				if len(model[k]) == 0 {
+					delete(model, k)
+				}
+				entries--
+			}
+		}
+	}
+	if ix.EntryCount() != entries || ix.Len() != len(model) {
+		t.Fatalf("Len=%d/%d Entries=%d/%d", ix.Len(), len(model), ix.EntryCount(), entries)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(keys []int64) bool {
+		ix := New()
+		for i, k := range keys {
+			ix.Insert(iv(k), rid(i, 0))
+		}
+		for i, k := range keys {
+			if !ix.Delete(iv(k), rid(i, 0)) {
+				return false
+			}
+		}
+		return ix.Len() == 0 && ix.EntryCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

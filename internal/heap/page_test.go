@@ -1,0 +1,257 @@
+package heap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+func newPage(t *testing.T) *SlottedPage {
+	t.Helper()
+	p, err := AsPage(make([]byte, buffer.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAsPageRejectsWrongSize(t *testing.T) {
+	if _, err := AsPage(make([]byte, 100)); err == nil {
+		t.Error("wrong-size buffer should fail")
+	}
+}
+
+func TestPageInsertGet(t *testing.T) {
+	p := newPage(t)
+	if p.NumSlots() != 0 || p.LiveCount() != 0 {
+		t.Fatalf("empty page: slots=%d live=%d", p.NumSlots(), p.LiveCount())
+	}
+	payloads := [][]byte{[]byte("alpha"), []byte("b"), []byte("gamma-long-payload")}
+	slots := make([]int, len(payloads))
+	for i, pl := range payloads {
+		s, ok := p.Insert(pl)
+		if !ok {
+			t.Fatalf("insert %d failed", i)
+		}
+		slots[i] = s
+	}
+	if p.LiveCount() != 3 {
+		t.Errorf("live = %d, want 3", p.LiveCount())
+	}
+	for i, pl := range payloads {
+		got, err := p.Tuple(slots[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pl) {
+			t.Errorf("slot %d = %q, want %q", slots[i], got, pl)
+		}
+	}
+}
+
+func TestPageDeleteAndSlotReuse(t *testing.T) {
+	p := newPage(t)
+	s0, _ := p.Insert([]byte("one"))
+	s1, _ := p.Insert([]byte("two"))
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Live(s0) {
+		t.Error("deleted slot still live")
+	}
+	if _, err := p.Tuple(s0); err == nil {
+		t.Error("Tuple on dead slot should fail")
+	}
+	if err := p.Delete(s0); err == nil {
+		t.Error("double delete should fail")
+	}
+	if err := p.Delete(99); err == nil {
+		t.Error("out-of-range delete should fail")
+	}
+	// Next insert reuses the dead slot; directory does not grow.
+	before := p.NumSlots()
+	s2, ok := p.Insert([]byte("three"))
+	if !ok {
+		t.Fatal("reinsert failed")
+	}
+	if s2 != s0 {
+		t.Errorf("reinsert got slot %d, want reused slot %d", s2, s0)
+	}
+	if p.NumSlots() != before {
+		t.Errorf("directory grew from %d to %d on reuse", before, p.NumSlots())
+	}
+	got, _ := p.Tuple(s1)
+	if !bytes.Equal(got, []byte("two")) {
+		t.Error("unrelated slot corrupted by reuse")
+	}
+}
+
+func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	p := newPage(t)
+	s, _ := p.Insert([]byte("hello world"))
+	ok, err := p.Update(s, []byte("hi"))
+	if err != nil || !ok {
+		t.Fatalf("shrink update: ok=%v err=%v", ok, err)
+	}
+	got, _ := p.Tuple(s)
+	if !bytes.Equal(got, []byte("hi")) {
+		t.Errorf("after shrink: %q", got)
+	}
+	big := bytes.Repeat([]byte("x"), 100)
+	ok, err = p.Update(s, big)
+	if err != nil || !ok {
+		t.Fatalf("grow update: ok=%v err=%v", ok, err)
+	}
+	got, _ = p.Tuple(s)
+	if !bytes.Equal(got, big) {
+		t.Error("after grow: payload mismatch")
+	}
+	if _, err := p.Update(99, []byte("x")); err == nil {
+		t.Error("out-of-range update should fail")
+	}
+}
+
+func TestPageUpdateDoesNotFit(t *testing.T) {
+	p := newPage(t)
+	// Fill the page with two large tuples.
+	half := bytes.Repeat([]byte("a"), (buffer.PageSize-headerSize)/2-2*slotEntrySize)
+	s0, ok := p.Insert(half)
+	if !ok {
+		t.Fatal("first insert failed")
+	}
+	if _, ok := p.Insert(half); !ok {
+		t.Fatal("second insert failed")
+	}
+	// Growing s0 beyond page capacity must report !ok, no error.
+	ok, err := p.Update(s0, bytes.Repeat([]byte("b"), len(half)+64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("oversized update should not fit")
+	}
+}
+
+func TestPageInsertFullAndCompaction(t *testing.T) {
+	p := newPage(t)
+	payload := bytes.Repeat([]byte("z"), 1000)
+	var slots []int
+	for {
+		s, ok := p.Insert(payload)
+		if !ok {
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 7 {
+		t.Fatalf("only %d inserts fit, want >= 7", len(slots))
+	}
+	// Delete every other tuple; the holes are non-contiguous, so a large
+	// insert requires compaction.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big := bytes.Repeat([]byte("C"), 1800)
+	s, ok := p.Insert(big)
+	if !ok {
+		t.Fatal("insert after deletes should compact and fit")
+	}
+	got, err := p.Tuple(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Error("compacted insert corrupted payload")
+	}
+	// Survivors intact.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Tuple(slots[i])
+		if err != nil {
+			t.Fatalf("survivor slot %d: %v", slots[i], err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("survivor slot %d corrupted", slots[i])
+		}
+	}
+}
+
+func TestPageInsertOversized(t *testing.T) {
+	p := newPage(t)
+	if _, ok := p.Insert(make([]byte, buffer.PageSize)); ok {
+		t.Error("page-sized payload should not fit")
+	}
+}
+
+// TestPageRandomizedOps drives a page with random inserts, deletes and
+// updates against a map model and checks full consistency after every
+// operation.
+func TestPageRandomizedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := newPage(t)
+	model := map[int][]byte{} // slot -> payload
+
+	randPayload := func() []byte {
+		n := 1 + rng.Intn(300)
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(model) == 0: // insert
+			pl := randPayload()
+			s, ok := p.Insert(pl)
+			if ok {
+				if _, clash := model[s]; clash {
+					t.Fatalf("step %d: insert returned live slot %d", step, s)
+				}
+				model[s] = pl
+			}
+		case op == 1: // delete random live slot
+			for s := range model {
+				if err := p.Delete(s); err != nil {
+					t.Fatalf("step %d: delete slot %d: %v", step, s, err)
+				}
+				delete(model, s)
+				break
+			}
+		default: // update random live slot
+			for s := range model {
+				pl := randPayload()
+				ok, err := p.Update(s, pl)
+				if err != nil {
+					t.Fatalf("step %d: update slot %d: %v", step, s, err)
+				}
+				if ok {
+					model[s] = pl
+				} else {
+					// Contract: a failed grow may leave the slot dead.
+					if p.Live(s) {
+						model[s] = model[s] // unchanged
+					} else {
+						delete(model, s)
+					}
+				}
+				break
+			}
+		}
+		// Verify model equivalence.
+		if p.LiveCount() != len(model) {
+			t.Fatalf("step %d: live=%d model=%d", step, p.LiveCount(), len(model))
+		}
+		for s, want := range model {
+			got, err := p.Tuple(s)
+			if err != nil {
+				t.Fatalf("step %d: slot %d: %v", step, s, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: slot %d payload mismatch", step, s)
+			}
+		}
+	}
+}

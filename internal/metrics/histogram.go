@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram accumulates observations and reports order statistics. The
+// bench harness uses it to summarize per-query wall-clock latencies
+// (p50/p95/p99) alongside the logical-I/O series.
+type Histogram struct {
+	values []float64
+	sorted bool
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.values = append(h.values, v)
+	h.sorted = false
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return len(h.values) }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 {
+	s := 0.0
+	for _, v := range h.values {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.values) == 0 {
+		return 0
+	}
+	return h.Sum() / float64(len(h.values))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted observations; 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.values) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.values)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.values[0]
+	}
+	if q >= 1 {
+		return h.values[len(h.values)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(h.values)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.values[rank]
+}
+
+// Summary renders count/mean/p50/p95/p99/max in one line with the given
+// unit suffix.
+func (h *Histogram) Summary(unit string) string {
+	if len(h.values) == 0 {
+		return "(no observations)"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f%s p50=%.1f%s p95=%.1f%s p99=%.1f%s max=%.1f%s",
+		h.Count(), h.Mean(), unit,
+		h.Quantile(0.5), unit, h.Quantile(0.95), unit, h.Quantile(0.99), unit,
+		h.Quantile(1), unit)
+}

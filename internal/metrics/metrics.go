@@ -1,0 +1,275 @@
+// Package metrics provides the small recording and rendering toolkit the
+// experiment harness uses: named series of per-query measurements,
+// tabular output (TSV and aligned text), and ASCII line plots so the CLI
+// can show the paper's figure shapes directly in a terminal.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve: a sequence of float measurements, typically
+// one per query.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// NewSeries creates an empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a measurement.
+func (s *Series) Add(v float64) { s.Y = append(s.Y, v) }
+
+// Len returns the number of measurements.
+func (s *Series) Len() int { return len(s.Y) }
+
+// Min returns the smallest value (0 for an empty series).
+func (s *Series) Min() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, v := range s.Y[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 for an empty series).
+func (s *Series) Max() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, v := range s.Y[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Y {
+		sum += v
+	}
+	return sum / float64(len(s.Y))
+}
+
+// MeanRange returns the mean of Y[from:to] (clamped; 0 when empty) — used
+// to summarize phases of an experiment, e.g. "queries 100–200".
+func (s *Series) MeanRange(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.Y) {
+		to = len(s.Y)
+	}
+	if from >= to {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Y[from:to] {
+		sum += v
+	}
+	return sum / float64(to-from)
+}
+
+// Frame is a set of series sharing an x-axis (x = index, e.g. query
+// number), renderable as a table or plot.
+type Frame struct {
+	XLabel string
+	Series []*Series
+}
+
+// NewFrame creates a frame over the given series.
+func NewFrame(xLabel string, series ...*Series) *Frame {
+	return &Frame{XLabel: xLabel, Series: series}
+}
+
+// rows returns the longest series length.
+func (f *Frame) rows() int {
+	n := 0
+	for _, s := range f.Series {
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	return n
+}
+
+// WriteTSV writes a header line and one tab-separated row per x value.
+// Missing values (shorter series) are empty cells.
+func (f *Frame) WriteTSV(w io.Writer) error {
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, f.XLabel)
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	for i := 0; i < f.rows(); i++ {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, fmt.Sprintf("%d", i))
+		for _, s := range f.Series {
+			if i < s.Len() {
+				row = append(row, formatNum(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable writes an aligned text table sampling every step-th row
+// (step < 1 means every row).
+func (f *Frame) WriteTable(w io.Writer, step int) error {
+	if step < 1 {
+		step = 1
+	}
+	widths := make([]int, len(f.Series)+1)
+	widths[0] = len(f.XLabel)
+	if widths[0] < 6 {
+		widths[0] = 6
+	}
+	for i, s := range f.Series {
+		widths[i+1] = len(s.Name)
+		if widths[i+1] < 10 {
+			widths[i+1] = 10
+		}
+	}
+	header := make([]string, len(widths))
+	header[0] = pad(f.XLabel, widths[0])
+	for i, s := range f.Series {
+		header[i+1] = pad(s.Name, widths[i+1])
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "  ")); err != nil {
+		return err
+	}
+	n := f.rows()
+	for i := 0; i < n; i += step {
+		row := make([]string, len(widths))
+		row[0] = pad(fmt.Sprintf("%d", i), widths[0])
+		for j, s := range f.Series {
+			cell := ""
+			if i < s.Len() {
+				cell = formatNum(s.Y[i])
+			}
+			row[j+1] = pad(cell, widths[j+1])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// formatNum renders a float compactly: integers without decimals, others
+// with up to 3 significant decimals.
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// plotGlyphs assigns one glyph per series in order.
+var plotGlyphs = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCIIPlot renders the frame as a width×height character plot with a
+// y-axis scale and per-series glyph legend. Series are downsampled to the
+// plot width by bucket means.
+func (f *Frame) ASCIIPlot(width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		if s.Len() == 0 {
+			continue
+		}
+		if m := s.Min(); m < lo {
+			lo = m
+		}
+		if m := s.Max(); m > hi {
+			hi = m
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	n := f.rows()
+	for si, s := range f.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for col := 0; col < width; col++ {
+			from := col * n / width
+			to := (col + 1) * n / width
+			if to > s.Len() {
+				to = s.Len()
+			}
+			if from >= to {
+				continue
+			}
+			sum := 0.0
+			for i := from; i < to; i++ {
+				sum += s.Y[i]
+			}
+			v := sum / float64(to-from)
+			row := int(math.Round((v - lo) / (hi - lo) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[height-1-row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", formatNum(hi))
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s %s -> %s\n", formatNum(lo), f.XLabel, "")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	return b.String()
+}

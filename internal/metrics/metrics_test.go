@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries("cost")
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Error("empty series stats should be 0")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		s.Add(v)
+	}
+	if s.Len() != 5 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 2.8 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestMeanRange(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.MeanRange(0, 5); got != 2 {
+		t.Errorf("MeanRange(0,5) = %v", got)
+	}
+	if got := s.MeanRange(5, 10); got != 7 {
+		t.Errorf("MeanRange(5,10) = %v", got)
+	}
+	// Clamping and degenerate ranges.
+	if got := s.MeanRange(-5, 100); got != 4.5 {
+		t.Errorf("clamped = %v", got)
+	}
+	if got := s.MeanRange(7, 3); got != 0 {
+		t.Errorf("inverted = %v", got)
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	a := NewSeries("a")
+	b := NewSeries("b")
+	a.Add(1)
+	a.Add(2)
+	b.Add(10) // shorter series leaves an empty cell
+	f := NewFrame("query", a, b)
+	var buf bytes.Buffer
+	if err := f.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "query\ta\tb" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0\t1\t10" {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "1\t2\t" {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+}
+
+func TestWriteTableSampling(t *testing.T) {
+	s := NewSeries("v")
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	f := NewFrame("q", s)
+	var buf bytes.Buffer
+	if err := f.WriteTable(&buf, 25); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + rows 0, 25, 50, 75.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "v") || !strings.Contains(lines[0], "q") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "25") {
+		t.Errorf("sampled row = %q", lines[2])
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := NewSeries("rising")
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i))
+	}
+	f := NewFrame("q", s)
+	out := f.ASCIIPlot(40, 8)
+	if !strings.Contains(out, "rising") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data glyphs")
+	}
+	lines := strings.Split(out, "\n")
+	// A rising series puts glyphs in the top line's right side and the
+	// bottom data line's left side.
+	top := lines[1]
+	if !strings.Contains(top, "*") || strings.Index(top, "*") < 20 {
+		t.Errorf("top line = %q", top)
+	}
+	// Empty frame.
+	empty := NewFrame("q", NewSeries("none"))
+	if got := empty.ASCIIPlot(20, 5); got != "(no data)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+	// Flat series (hi == lo) must not divide by zero.
+	flat := NewSeries("flat")
+	flat.Add(2)
+	flat.Add(2)
+	_ = NewFrame("q", flat).ASCIIPlot(20, 5)
+}
+
+func TestFormatNum(t *testing.T) {
+	if got := formatNum(5); got != "5" {
+		t.Errorf("formatNum(5) = %q", got)
+	}
+	if got := formatNum(3.14159); got != "3.142" {
+		t.Errorf("formatNum(pi) = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram stats should be 0")
+	}
+	if h.Summary("ms") != "(no observations)" {
+		t.Errorf("empty summary = %q", h.Summary("ms"))
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 || h.Sum() != 5050 {
+		t.Errorf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Quantile(0.95); got != 95 {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("q1 = %v", got)
+	}
+	// Observations after a quantile query still work (re-sort).
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("q1 after new obs = %v", got)
+	}
+	if !strings.Contains(h.Summary("us"), "p95=") {
+		t.Errorf("summary = %q", h.Summary("us"))
+	}
+}

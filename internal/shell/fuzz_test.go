@@ -1,0 +1,38 @@
+package shell
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// FuzzEval throws arbitrary command lines at the shell; it must return
+// errors for garbage, never panic, and stay usable afterwards.
+func FuzzEval(f *testing.F) {
+	f.Add("CREATE TABLE t (a INT)")
+	f.Add("INSERT INTO t VALUES (1)")
+	f.Add("SELECT * FROM t WHERE a = 1")
+	f.Add("SELECT * FROM t WHERE a BETWEEN 1 AND 2")
+	f.Add("CREATE PARTIAL INDEX ON t (a) COVERING 1 TO 2")
+	f.Add("SHOW BUFFERS")
+	f.Add("'unterminated")
+	f.Add("((((")
+	f.Add("insert into values values values")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		s := New(engine.New(engine.Config{Space: core.Config{IMax: 10, P: 5}}))
+		// Prepare a small table so data-dependent paths are reachable.
+		if _, err := s.Eval("CREATE TABLE t (a INT, b VARCHAR)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Eval("INSERT INTO t VALUES (1, 'x'), (2, 'y')"); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = s.Eval(line) // must not panic
+		// The shell must remain usable after any input.
+		if _, err := s.Eval("SELECT * FROM t WHERE a = 1"); err != nil {
+			t.Fatalf("shell broken after %q: %v", line, err)
+		}
+	})
+}

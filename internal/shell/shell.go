@@ -1,0 +1,697 @@
+package shell
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// Aliases keep the rendering helpers readable.
+type (
+	engineMatch = exec.Match
+	engineStats = exec.QueryStats
+)
+
+// Shell evaluates commands against one engine. It is not safe for
+// concurrent use (a REPL is inherently serial).
+type Shell struct {
+	eng *engine.Engine
+}
+
+// New creates a shell over the engine.
+func New(eng *engine.Engine) *Shell { return &Shell{eng: eng} }
+
+// Result is the outcome of one command.
+type Result struct {
+	Output string // human-readable response, possibly multi-line
+	Quit   bool   // the user asked to leave
+}
+
+// Eval parses and executes one command line. Empty lines and comments
+// (lines starting with --) are no-ops.
+func (s *Shell) Eval(line string) (Result, error) {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || strings.HasPrefix(trimmed, "--") {
+		return Result{}, nil
+	}
+	toks, err := lex(trimmed)
+	if err != nil {
+		return Result{}, err
+	}
+	p := &parser{toks: toks}
+	head, err := p.next()
+	if err != nil {
+		return Result{}, err
+	}
+	if head.kind != tokWord {
+		return Result{}, fmt.Errorf("commands start with a keyword, got %q", head.text)
+	}
+	switch head.text {
+	case "EXIT", "QUIT":
+		return Result{Output: "bye", Quit: true}, nil
+	case "HELP":
+		return Result{Output: helpText}, nil
+	case "CREATE":
+		return s.evalCreate(p)
+	case "INSERT":
+		return s.evalInsert(p)
+	case "DELETE":
+		return s.evalDelete(p)
+	case "UPDATE":
+		return s.evalUpdate(p)
+	case "SELECT":
+		return s.evalSelect(p, false)
+	case "EXPLAIN":
+		if err := p.word("SELECT"); err != nil {
+			return Result{}, err
+		}
+		return s.evalSelect(p, true)
+	case "DROP":
+		if err := p.word("INDEX"); err != nil {
+			return Result{}, err
+		}
+		if err := p.word("ON"); err != nil {
+			return Result{}, err
+		}
+		tname, err := p.ident()
+		if err != nil {
+			return Result{}, err
+		}
+		t, err := s.table(tname)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := p.punct("("); err != nil {
+			return Result{}, err
+		}
+		cname, err := p.ident()
+		if err != nil {
+			return Result{}, err
+		}
+		col, err := column(t, cname)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := p.punct(")"); err != nil {
+			return Result{}, err
+		}
+		if err := t.DropIndex(col); err != nil {
+			return Result{}, err
+		}
+		return Result{Output: fmt.Sprintf("dropped index on %s(%s)", tname, cname)}, nil
+	case "SHOW":
+		return s.evalShow(p)
+	case "VACUUM":
+		tname, err := p.ident()
+		if err != nil {
+			return Result{}, err
+		}
+		t, err := s.table(tname)
+		if err != nil {
+			return Result{}, err
+		}
+		before, after, err := t.Vacuum()
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Output: fmt.Sprintf("vacuumed %s: %d -> %d pages", tname, before, after)}, nil
+	case "SAVE":
+		if err := s.eng.Save(); err != nil {
+			return Result{}, err
+		}
+		return Result{Output: "database saved"}, nil
+	default:
+		return Result{}, fmt.Errorf("unknown command %q (try HELP)", head.text)
+	}
+}
+
+const helpText = `commands:
+  CREATE TABLE name (col INT|VARCHAR, ...)
+  CREATE PARTIAL INDEX ON table (col) COVERING lo TO hi
+  CREATE PARTIAL INDEX ON table (col) COVERING (v1, v2, ...)
+  DROP INDEX ON table (col)
+  INSERT INTO table VALUES (v1, ...) [, (v1, ...) ...]
+  DELETE FROM table WHERE col = value
+  UPDATE table SET col = value WHERE col = value
+  SELECT * FROM table WHERE col = value
+  SELECT * FROM table WHERE col BETWEEN lo AND hi
+  EXPLAIN SELECT * FROM table WHERE ...
+  SHOW TABLES | SHOW BUFFERS | SHOW INDEXES | SHOW STATS
+  VACUUM table
+  SAVE   (persist a DataDir-backed database)
+  HELP | EXIT`
+
+// table resolves a table name.
+func (s *Shell) table(name string) (*engine.Table, error) {
+	t := s.eng.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return t, nil
+}
+
+// column resolves a column name within a table.
+func column(t *engine.Table, name string) (int, error) {
+	i := t.Schema().ColumnIndex(name)
+	if i < 0 {
+		return 0, fmt.Errorf("table %s has no column %q", t.Name(), name)
+	}
+	return i, nil
+}
+
+// value parses a literal token into a storage value.
+func value(t token) (storage.Value, error) {
+	switch t.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return storage.Value{}, fmt.Errorf("bad number %q", t.text)
+		}
+		return storage.Int64Value(n), nil
+	case tokString:
+		return storage.StringValue(t.text), nil
+	default:
+		return storage.Value{}, fmt.Errorf("expected a literal, got %q", t.text)
+	}
+}
+
+func (s *Shell) evalCreate(p *parser) (Result, error) {
+	t, err := p.next()
+	if err != nil {
+		return Result{}, err
+	}
+	switch t.text {
+	case "TABLE":
+		return s.evalCreateTable(p)
+	case "PARTIAL":
+		if err := p.word("INDEX"); err != nil {
+			return Result{}, err
+		}
+		return s.evalCreateIndex(p)
+	default:
+		return Result{}, fmt.Errorf("CREATE %s not supported (want TABLE or PARTIAL INDEX)", t.text)
+	}
+}
+
+func (s *Shell) evalCreateTable(p *parser) (Result, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.punct("("); err != nil {
+		return Result{}, err
+	}
+	var cols []storage.Column
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return Result{}, err
+		}
+		kind, err := p.next()
+		if err != nil {
+			return Result{}, err
+		}
+		var k storage.Kind
+		switch kind.text {
+		case "INT", "INTEGER", "BIGINT":
+			k = storage.KindInt64
+		case "VARCHAR", "TEXT", "STRING":
+			k = storage.KindString
+		default:
+			return Result{}, fmt.Errorf("unknown type %q (want INT or VARCHAR)", kind.text)
+		}
+		cols = append(cols, storage.Column{Name: cname, Kind: k})
+		sep, err := p.next()
+		if err != nil {
+			return Result{}, err
+		}
+		if sep.text == ")" {
+			break
+		}
+		if sep.text != "," {
+			return Result{}, fmt.Errorf("expected , or ) in column list, got %q", sep.text)
+		}
+	}
+	schema, err := storage.NewSchema(cols...)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := s.eng.CreateTable(name, schema); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: fmt.Sprintf("created table %s %s", name, schema)}, nil
+}
+
+func (s *Shell) evalCreateIndex(p *parser) (Result, error) {
+	if err := p.word("ON"); err != nil {
+		return Result{}, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	t, err := s.table(tname)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.punct("("); err != nil {
+		return Result{}, err
+	}
+	cname, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	col, err := column(t, cname)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.punct(")"); err != nil {
+		return Result{}, err
+	}
+	if err := p.word("COVERING"); err != nil {
+		return Result{}, err
+	}
+
+	// Either "(v1, v2, ...)" or "lo TO hi".
+	nxt, ok := p.peek()
+	if !ok {
+		return Result{}, fmt.Errorf("expected coverage after COVERING")
+	}
+	var cov index.Coverage
+	if nxt.kind == tokPunct && nxt.text == "(" {
+		p.pos++
+		var vals []storage.Value
+		for {
+			lt, err := p.next()
+			if err != nil {
+				return Result{}, err
+			}
+			v, err := value(lt)
+			if err != nil {
+				return Result{}, err
+			}
+			vals = append(vals, v)
+			sep, err := p.next()
+			if err != nil {
+				return Result{}, err
+			}
+			if sep.text == ")" {
+				break
+			}
+			if sep.text != "," {
+				return Result{}, fmt.Errorf("expected , or ) in value list, got %q", sep.text)
+			}
+		}
+		cov = index.NewSetCoverage(vals...)
+	} else {
+		loTok, err := p.next()
+		if err != nil {
+			return Result{}, err
+		}
+		lo, err := value(loTok)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := p.word("TO"); err != nil {
+			return Result{}, err
+		}
+		hiTok, err := p.next()
+		if err != nil {
+			return Result{}, err
+		}
+		hi, err := value(hiTok)
+		if err != nil {
+			return Result{}, err
+		}
+		cov = index.RangeCoverage{Lo: lo, Hi: hi}
+	}
+	if err := t.CreatePartialIndex(col, cov); err != nil {
+		return Result{}, err
+	}
+	return Result{Output: fmt.Sprintf("created partial index on %s(%s) covering %s", tname, cname, cov)}, nil
+}
+
+func (s *Shell) evalInsert(p *parser) (Result, error) {
+	if err := p.word("INTO"); err != nil {
+		return Result{}, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	t, err := s.table(tname)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.word("VALUES"); err != nil {
+		return Result{}, err
+	}
+	count := 0
+	for {
+		if err := p.punct("("); err != nil {
+			return Result{}, err
+		}
+		var vals []storage.Value
+		for {
+			lt, err := p.next()
+			if err != nil {
+				return Result{}, err
+			}
+			v, err := value(lt)
+			if err != nil {
+				return Result{}, err
+			}
+			vals = append(vals, v)
+			sep, err := p.next()
+			if err != nil {
+				return Result{}, err
+			}
+			if sep.text == ")" {
+				break
+			}
+			if sep.text != "," {
+				return Result{}, fmt.Errorf("expected , or ) in tuple, got %q", sep.text)
+			}
+		}
+		if _, err := t.Insert(storage.NewTuple(vals...)); err != nil {
+			return Result{}, err
+		}
+		count++
+		if p.done() {
+			break
+		}
+		if err := p.punct(","); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Output: fmt.Sprintf("inserted %d row(s)", count)}, nil
+}
+
+// wherePredicate parses "WHERE col = literal" and returns the column
+// ordinal and key.
+func (s *Shell) wherePredicate(p *parser, t *engine.Table) (int, storage.Value, error) {
+	if err := p.word("WHERE"); err != nil {
+		return 0, storage.Value{}, err
+	}
+	cname, err := p.ident()
+	if err != nil {
+		return 0, storage.Value{}, err
+	}
+	col, err := column(t, cname)
+	if err != nil {
+		return 0, storage.Value{}, err
+	}
+	if err := p.punct("="); err != nil {
+		return 0, storage.Value{}, err
+	}
+	lt, err := p.next()
+	if err != nil {
+		return 0, storage.Value{}, err
+	}
+	key, err := value(lt)
+	if err != nil {
+		return 0, storage.Value{}, err
+	}
+	return col, key, nil
+}
+
+func (s *Shell) evalDelete(p *parser) (Result, error) {
+	if err := p.word("FROM"); err != nil {
+		return Result{}, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	t, err := s.table(tname)
+	if err != nil {
+		return Result{}, err
+	}
+	col, key, err := s.wherePredicate(p, t)
+	if err != nil {
+		return Result{}, err
+	}
+	matches, _, err := t.QueryEqual(col, key)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, m := range matches {
+		if err := t.Delete(m.RID); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Output: fmt.Sprintf("deleted %d row(s)", len(matches))}, nil
+}
+
+func (s *Shell) evalUpdate(p *parser) (Result, error) {
+	tname, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	t, err := s.table(tname)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.word("SET"); err != nil {
+		return Result{}, err
+	}
+	setName, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	setCol, err := column(t, setName)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.punct("="); err != nil {
+		return Result{}, err
+	}
+	lt, err := p.next()
+	if err != nil {
+		return Result{}, err
+	}
+	newVal, err := value(lt)
+	if err != nil {
+		return Result{}, err
+	}
+	col, key, err := s.wherePredicate(p, t)
+	if err != nil {
+		return Result{}, err
+	}
+	matches, _, err := t.QueryEqual(col, key)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, m := range matches {
+		if err := t.Schema().Validate(m.Tuple.WithValue(setCol, newVal)); err != nil {
+			return Result{}, err
+		}
+		if _, err := t.Update(m.RID, m.Tuple.WithValue(setCol, newVal)); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Output: fmt.Sprintf("updated %d row(s)", len(matches))}, nil
+}
+
+func (s *Shell) evalSelect(p *parser, explain bool) (Result, error) {
+	if err := p.punct("*"); err != nil {
+		return Result{}, err
+	}
+	if err := p.word("FROM"); err != nil {
+		return Result{}, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	t, err := s.table(tname)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.word("WHERE"); err != nil {
+		return Result{}, err
+	}
+	cname, err := p.ident()
+	if err != nil {
+		return Result{}, err
+	}
+	col, err := column(t, cname)
+	if err != nil {
+		return Result{}, err
+	}
+	op, err := p.next()
+	if err != nil {
+		return Result{}, err
+	}
+
+	var rows []rowOut
+	var statsLine string
+	switch {
+	case op.kind == tokPunct && op.text == "=":
+		lt, err := p.next()
+		if err != nil {
+			return Result{}, err
+		}
+		key, err := value(lt)
+		if err != nil {
+			return Result{}, err
+		}
+		if explain {
+			plan, err := t.ExplainEqual(col, key)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Output: plan.String()}, nil
+		}
+		matches, stats, err := t.QueryEqual(col, key)
+		if err != nil {
+			return Result{}, err
+		}
+		rows = renderMatches(t, matches)
+		statsLine = statsString(stats)
+	case op.kind == tokWord && op.text == "BETWEEN":
+		loTok, err := p.next()
+		if err != nil {
+			return Result{}, err
+		}
+		lo, err := value(loTok)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := p.word("AND"); err != nil {
+			return Result{}, err
+		}
+		hiTok, err := p.next()
+		if err != nil {
+			return Result{}, err
+		}
+		hi, err := value(hiTok)
+		if err != nil {
+			return Result{}, err
+		}
+		if explain {
+			plan, err := t.ExplainRange(col, lo, hi)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Output: plan.String()}, nil
+		}
+		matches, stats, err := t.QueryRange(col, lo, hi)
+		if err != nil {
+			return Result{}, err
+		}
+		rows = renderMatches(t, matches)
+		statsLine = statsString(stats)
+	default:
+		return Result{}, fmt.Errorf("expected = or BETWEEN, got %q", op.text)
+	}
+
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.WriteString(r.line)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%d row(s) | %s", len(rows), statsLine)
+	return Result{Output: sb.String()}, nil
+}
+
+type rowOut struct{ line string }
+
+// renderMatches formats result tuples, truncating long strings, in RID
+// order for stable output.
+func renderMatches(t *engine.Table, matches []engineMatch) []rowOut {
+	sorted := append([]engineMatch(nil), matches...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RID.Less(sorted[j].RID) })
+	out := make([]rowOut, len(sorted))
+	for i, m := range sorted {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "[%v]", m.RID)
+		for c := 0; c < t.Schema().NumColumns(); c++ {
+			v := m.Tuple.Value(c)
+			text := v.String()
+			if len(text) > 24 {
+				text = text[:21] + `..."`
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(text)
+		}
+		out[i] = rowOut{line: sb.String()}
+	}
+	return out
+}
+
+func statsString(st engineStats) string {
+	mech := "indexing scan"
+	switch {
+	case st.PartialHit:
+		mech = "partial index hit"
+	case st.FullScan:
+		mech = "full scan"
+	}
+	return fmt.Sprintf("%s: %d pages read, %d skipped, %d buffer entries added",
+		mech, st.PagesRead, st.PagesSkipped, st.EntriesAdded)
+}
+
+func (s *Shell) evalShow(p *parser) (Result, error) {
+	what, err := p.next()
+	if err != nil {
+		return Result{}, err
+	}
+	switch what.text {
+	case "BUFFERS":
+		var sb strings.Builder
+		bufs := s.eng.Space().Buffers()
+		if len(bufs) == 0 {
+			return Result{Output: "no index buffers"}, nil
+		}
+		for _, b := range bufs {
+			fmt.Fprintf(&sb, "%s: %d entries, %d partitions, %d pages buffered, benefit %.2f\n",
+				b.Name(), b.EntryCount(), b.PartitionCount(), b.BufferedPages(), b.Benefit())
+		}
+		fmt.Fprintf(&sb, "space used: %d entries", s.eng.Space().Used())
+		return Result{Output: sb.String()}, nil
+	case "TABLES":
+		names := s.eng.TableNames()
+		if len(names) == 0 {
+			return Result{Output: "no tables"}, nil
+		}
+		var sb strings.Builder
+		for i, n := range names {
+			if i > 0 {
+				sb.WriteByte('\n')
+			}
+			t := s.eng.Table(n)
+			fmt.Fprintf(&sb, "%s %s (%d pages)", n, t.Schema(), t.NumPages())
+		}
+		return Result{Output: sb.String()}, nil
+	case "STATS":
+		return Result{Output: s.eng.Tracer().Report()}, nil
+	case "INDEXES":
+		var sb strings.Builder
+		found := false
+		for _, n := range s.eng.TableNames() {
+			t := s.eng.Table(n)
+			for c := 0; c < t.Schema().NumColumns(); c++ {
+				if ix := t.Index(c); ix != nil {
+					if found {
+						sb.WriteByte('\n')
+					}
+					found = true
+					fmt.Fprintf(&sb, "%s: covering %s, %d entries", ix.Name(), ix.Coverage(), ix.EntryCount())
+				}
+			}
+		}
+		if !found {
+			return Result{Output: "no indexes"}, nil
+		}
+		return Result{Output: sb.String()}, nil
+	default:
+		return Result{}, fmt.Errorf("SHOW %s not supported (want TABLES, BUFFERS or INDEXES)", what.text)
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRankCorrelation(t *testing.T) {
+	sorted := []int{0, 1, 2, 3, 4}
+	if got := rankCorrelation(sorted); math.Abs(got-1) > 1e-9 {
+		t.Errorf("sorted correlation = %v, want 1", got)
+	}
+	reversed := []int{4, 3, 2, 1, 0}
+	if got := rankCorrelation(reversed); math.Abs(got+1) > 1e-9 {
+		t.Errorf("reversed correlation = %v, want -1", got)
+	}
+	if got := rankCorrelation([]int{0}); got != 1 {
+		t.Errorf("singleton correlation = %v", got)
+	}
+}
+
+func TestFullyIndexedShareClustered(t *testing.T) {
+	// 100 tuples, 10/page, 50% covered, clustered: pages 0-4 fully
+	// covered.
+	keys := make([]int, 100)
+	for i := range keys {
+		keys[i] = i
+	}
+	if got := fullyIndexedShare(keys, 10, 50); got != 0.5 {
+		t.Errorf("share = %v, want 0.5", got)
+	}
+	// Coverage cutting through a page: 45 covered -> only 4 full pages.
+	if got := fullyIndexedShare(keys, 10, 45); got != 0.4 {
+		t.Errorf("share = %v, want 0.4", got)
+	}
+	// Everything covered.
+	if got := fullyIndexedShare(keys, 10, 100); got != 1 {
+		t.Errorf("share = %v, want 1", got)
+	}
+	// Nothing covered.
+	if got := fullyIndexedShare(keys, 10, 0); got != 0 {
+		t.Errorf("share = %v, want 0", got)
+	}
+}
+
+func TestFullyIndexedShareTrailingPage(t *testing.T) {
+	keys := []int{0, 1, 2, 3, 4} // 2 pages at 3/page: [0 1 2], [3 4]
+	if got := fullyIndexedShare(keys, 3, 5); got != 1 {
+		t.Errorf("share = %v, want 1", got)
+	}
+	if got := fullyIndexedShare(keys, 3, 4); got != 0.5 {
+		t.Errorf("share = %v, want 0.5 (trailing page broken)", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(5, Scenario{TuplesPerPage: 10, Coverage: 0.5}, 1, 1, 1); err == nil {
+		t.Error("fewer tuples than page capacity should fail")
+	}
+	if _, err := Run(100, Scenario{TuplesPerPage: 10, Coverage: 1.5}, 1, 1, 1); err == nil {
+		t.Error("coverage > 1 should fail")
+	}
+}
+
+func TestRunSweepShape(t *testing.T) {
+	// The paper's setup: 10% coverage (its partial indexes cover the top
+	// 10% of the value range), 10 tuples per page.
+	sc := Scenario{TuplesPerPage: 10, Coverage: 0.1}
+	points, err := Run(10000, sc, 300, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := points[0]
+	if math.Abs(first.Correlation-1) > 1e-9 {
+		t.Errorf("initial correlation = %v", first.Correlation)
+	}
+	if math.Abs(first.FullyIndexedShare-sc.Coverage) > 0.01 {
+		t.Errorf("clustered share = %v, want ~coverage %v (paper: 'corresponds to the number of tuples covered')",
+			first.FullyIndexedShare, sc.Coverage)
+	}
+	last := points[len(points)-1]
+	if last.Correlation > 0.3 {
+		t.Errorf("sweep did not decorrelate: final correlation %v", last.Correlation)
+	}
+	// The paper's headline: at correlation <= 0.8 and >= 10 tuples/page,
+	// share < 5%.
+	if got := ShareAt(points, 0.8); got >= 0.05 {
+		t.Errorf("share at correlation 0.8 = %v, want < 0.05", got)
+	}
+	// Monotone-ish collapse: share never exceeds the clustered share.
+	for i, p := range points {
+		if p.FullyIndexedShare > first.FullyIndexedShare+1e-9 {
+			t.Errorf("point %d share %v exceeds clustered share", i, p.FullyIndexedShare)
+		}
+	}
+}
+
+func TestPaperScenarios(t *testing.T) {
+	scs := PaperScenarios()
+	if len(scs) != 6 {
+		t.Fatalf("scenarios = %d, want 6", len(scs))
+	}
+	for _, sc := range scs {
+		if sc.TuplesPerPage < 1 || sc.Coverage <= 0 || sc.Coverage > 1 {
+			t.Errorf("bad scenario %+v", sc)
+		}
+		if sc.String() == "" {
+			t.Error("empty label")
+		}
+	}
+}
+
+func TestKeysWithCorrelation(t *testing.T) {
+	// Identity at target 1.
+	keys := KeysWithCorrelation(1000, 1.0, 1)
+	if RankCorrelation(keys) != 1 {
+		t.Errorf("target 1.0 correlation = %v", RankCorrelation(keys))
+	}
+	for i, k := range keys {
+		if k != i {
+			t.Fatal("target 1.0 should be the identity permutation")
+		}
+	}
+	// Intermediate targets land close.
+	for _, target := range []float64{0.9, 0.7, 0.4} {
+		keys := KeysWithCorrelation(5000, target, 2)
+		got := RankCorrelation(keys)
+		if math.Abs(got-target) > 0.05 {
+			t.Errorf("target %.1f: measured %.3f", target, got)
+		}
+		// Still a permutation.
+		seen := make([]bool, len(keys))
+		for _, k := range keys {
+			if k < 0 || k >= len(keys) || seen[k] {
+				t.Fatal("not a permutation")
+			}
+			seen[k] = true
+		}
+	}
+	// Full shuffle at target <= 0.
+	keys = KeysWithCorrelation(5000, 0, 3)
+	if got := RankCorrelation(keys); math.Abs(got) > 0.1 {
+		t.Errorf("target 0: measured %.3f", got)
+	}
+	// Tiny n does not loop forever.
+	_ = KeysWithCorrelation(1, 0.5, 4)
+	_ = KeysWithCorrelation(2, 0.5, 5)
+}

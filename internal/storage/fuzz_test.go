@@ -1,0 +1,32 @@
+package storage
+
+import "testing"
+
+// FuzzDecodeTuple feeds arbitrary bytes to the tuple decoder; it must
+// return an error or a valid tuple, never panic.
+func FuzzDecodeTuple(f *testing.F) {
+	s := MustSchema(
+		Column{Name: "a", Kind: KindInt64},
+		Column{Name: "s", Kind: KindString},
+		Column{Name: "b", Kind: KindInt64},
+	)
+	good, _ := EncodeTuple(s, NewTuple(Int64Value(42), StringValue("FRA"), Int64Value(-1)), nil)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tu, err := DecodeTuple(s, data)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip to the same bytes.
+		out, err := EncodeTuple(s, tu, nil)
+		if err != nil {
+			t.Fatalf("re-encode of decoded tuple failed: %v", err)
+		}
+		if string(out) != string(data) {
+			t.Fatalf("round trip mismatch: %x -> %x", data, out)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func flightsSchema() *Schema {
+	return MustSchema(
+		Column{Name: "airport", Kind: KindString},
+		Column{Name: "delay", Kind: KindInt64},
+	)
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema should fail")
+	}
+	if _, err := NewSchema(Column{Name: "", Kind: KindInt64}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := NewSchema(Column{Name: "a", Kind: KindInvalid}); err == nil {
+		t.Error("invalid kind should fail")
+	}
+	if _, err := NewSchema(
+		Column{Name: "a", Kind: KindInt64},
+		Column{Name: "a", Kind: KindString},
+	); err == nil {
+		t.Error("duplicate column name should fail")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema on bad input should panic")
+		}
+	}()
+	MustSchema()
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := flightsSchema()
+	if s.NumColumns() != 2 {
+		t.Fatalf("NumColumns = %d, want 2", s.NumColumns())
+	}
+	if c := s.Column(0); c.Name != "airport" || c.Kind != KindString {
+		t.Errorf("Column(0) = %+v", c)
+	}
+	if i := s.ColumnIndex("delay"); i != 1 {
+		t.Errorf("ColumnIndex(delay) = %d, want 1", i)
+	}
+	if i := s.ColumnIndex("missing"); i != -1 {
+		t.Errorf("ColumnIndex(missing) = %d, want -1", i)
+	}
+	if got := s.String(); !strings.Contains(got, "airport VARCHAR") || !strings.Contains(got, "delay INTEGER") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := flightsSchema()
+	ok := NewTuple(StringValue("ORD"), Int64Value(12))
+	if err := s.Validate(ok); err != nil {
+		t.Errorf("Validate(ok) = %v", err)
+	}
+	if err := s.Validate(NewTuple(StringValue("ORD"))); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := s.Validate(NewTuple(Int64Value(1), Int64Value(2))); err == nil {
+		t.Error("wrong kind should fail")
+	}
+}

@@ -1,0 +1,173 @@
+// Package trace implements query monitoring: a bounded ring of recent
+// query outcomes plus per-column aggregates (hit rates, page costs,
+// buffer effectiveness). It is the observability layer a DBA would use
+// to see whether the Index Buffer is earning its memory — the engine
+// records into an attached Tracer, the shell exposes it as SHOW STATS,
+// and the facade as DB.TraceReport.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/exec"
+)
+
+// Event is one recorded query outcome.
+type Event struct {
+	Table      string
+	Column     string
+	Mechanism  string // "hit", "indexing-scan", "full-scan"
+	PagesRead  int
+	Skipped    int
+	Matches    int
+	WallMicros int64
+}
+
+// Aggregate summarizes the events of one (table, column) pair.
+type Aggregate struct {
+	Table, Column string
+	Queries       uint64
+	Hits          uint64
+	PagesRead     uint64
+	PagesSkipped  uint64
+	WallMicros    uint64
+}
+
+// HitRate returns hits/queries (0 when no queries).
+func (a Aggregate) HitRate() float64 {
+	if a.Queries == 0 {
+		return 0
+	}
+	return float64(a.Hits) / float64(a.Queries)
+}
+
+// MeanPages returns pages read per query.
+func (a Aggregate) MeanPages() float64 {
+	if a.Queries == 0 {
+		return 0
+	}
+	return float64(a.PagesRead) / float64(a.Queries)
+}
+
+// SkipShare returns the fraction of touched pages that were skipped.
+func (a Aggregate) SkipShare() float64 {
+	total := a.PagesRead + a.PagesSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(a.PagesSkipped) / float64(total)
+}
+
+// Tracer records query events. Safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	filled int
+	aggs   map[string]*Aggregate // keyed by table+"."+column
+}
+
+// New creates a tracer keeping the last capacity events (min 1).
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, capacity), aggs: make(map[string]*Aggregate)}
+}
+
+// Record ingests one query outcome.
+func (t *Tracer) Record(table, column string, stats exec.QueryStats) {
+	mech := "indexing-scan"
+	switch {
+	case stats.PartialHit:
+		mech = "hit"
+	case stats.FullScan:
+		mech = "full-scan"
+	}
+	ev := Event{
+		Table:      table,
+		Column:     column,
+		Mechanism:  mech,
+		PagesRead:  stats.PagesRead,
+		Skipped:    stats.PagesSkipped,
+		Matches:    stats.Matches,
+		WallMicros: stats.Duration.Microseconds(),
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % len(t.ring)
+	if t.filled < len(t.ring) {
+		t.filled++
+	}
+	key := table + "." + column
+	a := t.aggs[key]
+	if a == nil {
+		a = &Aggregate{Table: table, Column: column}
+		t.aggs[key] = a
+	}
+	a.Queries++
+	if stats.PartialHit {
+		a.Hits++
+	}
+	a.PagesRead += uint64(stats.PagesRead)
+	a.PagesSkipped += uint64(stats.PagesSkipped)
+	a.WallMicros += uint64(ev.WallMicros)
+}
+
+// Recent returns up to n most-recent events, newest first.
+func (t *Tracer) Recent(n int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > t.filled {
+		n = t.filled
+	}
+	out := make([]Event, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Aggregates returns per-column summaries sorted by table then column.
+func (t *Tracer) Aggregates() []Aggregate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Aggregate, 0, len(t.aggs))
+	for _, a := range t.aggs {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
+// Reset clears all recorded state.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next, t.filled = 0, 0
+	t.aggs = make(map[string]*Aggregate)
+}
+
+// Report renders the aggregates as an aligned text table.
+func (t *Tracer) Report() string {
+	aggs := t.Aggregates()
+	if len(aggs) == 0 {
+		return "no queries recorded"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %8s %8s %12s %10s\n", "column", "queries", "hit%", "pages/query", "skip%")
+	for _, a := range aggs {
+		fmt.Fprintf(&sb, "%-20s %8d %7.1f%% %12.1f %9.1f%%\n",
+			a.Table+"."+a.Column, a.Queries, 100*a.HitRate(), a.MeanPages(), 100*a.SkipShare())
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+)
+
+func stats(hit, full bool, pages, skipped, matches int) exec.QueryStats {
+	return exec.QueryStats{
+		PartialHit:   hit,
+		FullScan:     full,
+		PagesRead:    pages,
+		PagesSkipped: skipped,
+		Matches:      matches,
+		Duration:     3 * time.Millisecond,
+	}
+}
+
+func TestRecordAndAggregates(t *testing.T) {
+	tr := New(16)
+	tr.Record("t", "a", stats(true, false, 5, 0, 2))
+	tr.Record("t", "a", stats(false, false, 10, 90, 1))
+	tr.Record("t", "b", stats(false, true, 100, 0, 0))
+
+	aggs := tr.Aggregates()
+	if len(aggs) != 2 {
+		t.Fatalf("aggregates = %d", len(aggs))
+	}
+	a := aggs[0]
+	if a.Column != "a" || a.Queries != 2 || a.Hits != 1 {
+		t.Errorf("agg a = %+v", a)
+	}
+	if a.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", a.HitRate())
+	}
+	if a.MeanPages() != 7.5 {
+		t.Errorf("mean pages = %v", a.MeanPages())
+	}
+	if got := a.SkipShare(); got < 0.85 || got > 0.87 { // 90/(15+90)
+		t.Errorf("skip share = %v", got)
+	}
+	b := aggs[1]
+	if b.Column != "b" || b.HitRate() != 0 || b.SkipShare() != 0 {
+		t.Errorf("agg b = %+v", b)
+	}
+}
+
+func TestZeroQueryAggregates(t *testing.T) {
+	var a Aggregate
+	if a.HitRate() != 0 || a.MeanPages() != 0 || a.SkipShare() != 0 {
+		t.Error("zero aggregate should report zeros")
+	}
+}
+
+func TestRecentRingOrder(t *testing.T) {
+	tr := New(3)
+	for i := 1; i <= 5; i++ {
+		tr.Record("t", "a", stats(false, false, i, 0, 0))
+	}
+	got := tr.Recent(10) // more than capacity: clipped to 3
+	if len(got) != 3 {
+		t.Fatalf("recent = %d events", len(got))
+	}
+	// Newest first: pages 5, 4, 3.
+	for i, want := range []int{5, 4, 3} {
+		if got[i].PagesRead != want {
+			t.Errorf("recent[%d].PagesRead = %d, want %d", i, got[i].PagesRead, want)
+		}
+	}
+	if got[0].Mechanism != "indexing-scan" {
+		t.Errorf("mechanism = %q", got[0].Mechanism)
+	}
+}
+
+func TestReportAndReset(t *testing.T) {
+	tr := New(8)
+	if tr.Report() != "no queries recorded" {
+		t.Errorf("empty report = %q", tr.Report())
+	}
+	tr.Record("flights", "airport", stats(true, false, 3, 0, 1))
+	rep := tr.Report()
+	if !strings.Contains(rep, "flights.airport") || !strings.Contains(rep, "100.0%") {
+		t.Errorf("report = %q", rep)
+	}
+	tr.Reset()
+	if tr.Report() != "no queries recorded" || len(tr.Recent(5)) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Record("t", "a", stats(i%2 == 0, false, 1, 1, 0))
+				_ = tr.Recent(5)
+				_ = tr.Aggregates()
+			}
+		}()
+	}
+	wg.Wait()
+	aggs := tr.Aggregates()
+	if len(aggs) != 1 || aggs[0].Queries != 1600 {
+		t.Errorf("aggs = %+v", aggs)
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	tr := New(0)
+	tr.Record("t", "a", stats(false, false, 1, 0, 0))
+	if got := tr.Recent(5); len(got) != 1 {
+		t.Errorf("recent = %d", len(got))
+	}
+}

@@ -1,0 +1,171 @@
+// Package tuning implements the baseline the Index Buffer is measured
+// against: a value-granular online tuning facility for partial indexes,
+// exactly as simulated in the paper's Figure 1. The tuner watches a
+// sliding window of recent queries, promotes a value into the partial
+// index once it has been queried often enough within the window (enough
+// "potential query cost reduction during the last twenty queries"), and
+// evicts values least-recently-used when the index outgrows its capacity.
+//
+// Its defining weakness — the reason the Index Buffer exists — is the
+// control loop delay: after a workload shift, a value needs Threshold
+// observations inside the window before it is indexed, so the hit rate
+// collapses for an adaptation period roughly Window · Domain / Threshold
+// queries long.
+package tuning
+
+import (
+	"container/list"
+
+	"repro/internal/storage"
+)
+
+// Defaults matching the paper's Figure 1 simulation.
+const (
+	DefaultWindow    = 20 // monitoring window: last twenty queries
+	DefaultThreshold = 6  // queried at least six times in the window
+)
+
+// Stats counts tuner activity; adds and removes are the adaptation cost
+// the paper charges against online tuning (§I: "Index adaptation is not
+// for free").
+type Stats struct {
+	Queries uint64 // queries observed
+	Hits    uint64 // queries answered by the partial index
+	Adds    uint64 // values promoted into the index
+	Removes uint64 // values evicted (LRU)
+}
+
+// Tuner is the adaptive partial-index tuning facility. Not safe for
+// concurrent use.
+type Tuner struct {
+	window    []storage.Value // ring buffer of the last Window queries
+	next      int             // ring position of the next write
+	filled    int             // observations in the ring (≤ len(window))
+	threshold int
+	capacity  int // max indexed values; <= 0 means unlimited
+
+	indexed map[storage.Value]*list.Element
+	lru     *list.List // front = most recently used
+
+	stats Stats
+}
+
+// New creates a tuner with the given monitoring window size, promotion
+// threshold and index capacity (values). Non-positive window/threshold
+// fall back to the paper's defaults.
+func New(window, threshold, capacity int) *Tuner {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Tuner{
+		window:    make([]storage.Value, window),
+		threshold: threshold,
+		capacity:  capacity,
+		indexed:   make(map[storage.Value]*list.Element),
+		lru:       list.New(),
+	}
+}
+
+// Contains reports whether v is currently in the (simulated) partial
+// index.
+func (t *Tuner) Contains(v storage.Value) bool {
+	_, ok := t.indexed[v]
+	return ok
+}
+
+// Len returns the number of indexed values.
+func (t *Tuner) Len() int { return len(t.indexed) }
+
+// Stats returns a snapshot of the counters.
+func (t *Tuner) Stats() Stats { return t.stats }
+
+// OnQuery observes one query for value v, adapts the index, and reports
+// whether the query hit the partial index (before any promotion this
+// query may have triggered — a just-promoted value still paid the scan).
+func (t *Tuner) OnQuery(v storage.Value) (hit bool) {
+	t.stats.Queries++
+
+	// Record in the monitoring window.
+	t.window[t.next] = v
+	t.next = (t.next + 1) % len(t.window)
+	if t.filled < len(t.window) {
+		t.filled++
+	}
+
+	if el, ok := t.indexed[v]; ok {
+		t.lru.MoveToFront(el)
+		t.stats.Hits++
+		return true
+	}
+
+	// Promotion check: occurrences of v in the window (incl. this query).
+	count := 0
+	for i := 0; i < t.filled; i++ {
+		if t.window[i].Equal(v) {
+			count++
+		}
+	}
+	if count >= t.threshold {
+		t.promote(v)
+	}
+	return false
+}
+
+// promote adds v to the index, evicting LRU values over capacity.
+func (t *Tuner) promote(v storage.Value) {
+	t.indexed[v] = t.lru.PushFront(v)
+	t.stats.Adds++
+	for t.capacity > 0 && len(t.indexed) > t.capacity {
+		back := t.lru.Back()
+		evicted := back.Value.(storage.Value)
+		t.lru.Remove(back)
+		delete(t.indexed, evicted)
+		t.stats.Removes++
+	}
+}
+
+// Indexed returns the indexed values in most-recently-used order.
+func (t *Tuner) Indexed() []storage.Value {
+	out := make([]storage.Value, 0, t.lru.Len())
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(storage.Value))
+	}
+	return out
+}
+
+// IndexedRange returns the smallest and largest indexed values — the
+// "indexed value range" band of the paper's Figure 1. ok is false when
+// the index is empty.
+func (t *Tuner) IndexedRange() (lo, hi storage.Value, ok bool) {
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		v := el.Value.(storage.Value)
+		if !ok {
+			lo, hi, ok = v, v, true
+			continue
+		}
+		if v.Compare(lo) < 0 {
+			lo = v
+		}
+		if v.Compare(hi) > 0 {
+			hi = v
+		}
+	}
+	return lo, hi, ok
+}
+
+// Coverage adapts the tuner's current value set to the index.Coverage
+// shape used by the engine's partial indexes (a live view: it reflects
+// future adaptation).
+type Coverage struct{ t *Tuner }
+
+// Coverage returns a live coverage view over the tuner's indexed set.
+func (t *Tuner) Coverage() Coverage { return Coverage{t: t} }
+
+// Covers implements the index.Coverage predicate.
+func (c Coverage) Covers(v storage.Value) bool { return c.t.Contains(v) }
+
+// String implements the index.Coverage interface.
+func (c Coverage) String() string { return "TUNED" }

@@ -1,0 +1,174 @@
+// Package workload generates the paper's evaluation data and query
+// streams (§V): a table with three INTEGER columns uniformly distributed
+// over [1, 50000] plus a VARCHAR(512) payload of uniform random length,
+// and query mixes over the columns with controllable partial-index hit
+// rates and mid-run shifts.
+//
+// Everything is seeded and deterministic, so experiment runs are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/storage"
+)
+
+// Dataset describes the synthetic table of the paper's common setup.
+type Dataset struct {
+	Rows       int   // number of tuples (paper: 500,000)
+	Columns    int   // integer key columns (paper: 3 — A, B, C)
+	Domain     int64 // values uniform in [1, Domain] (paper: 50,000)
+	PayloadMax int   // payload length uniform in [1, PayloadMax] (paper: 512)
+	Seed       int64 // RNG seed
+}
+
+// PaperDataset returns the paper's exact data setup, scaled to the given
+// row count (pass 500000 for the original size).
+func PaperDataset(rows int) Dataset {
+	return Dataset{Rows: rows, Columns: 3, Domain: 50000, PayloadMax: 512, Seed: 1}
+}
+
+// Schema returns the dataset's table schema: columns "a", "b", "c", ...
+// followed by "payload".
+func (d Dataset) Schema() (*storage.Schema, error) {
+	if d.Columns < 1 || d.Columns > 26 {
+		return nil, fmt.Errorf("workload: %d key columns, want 1..26", d.Columns)
+	}
+	cols := make([]storage.Column, 0, d.Columns+1)
+	for i := 0; i < d.Columns; i++ {
+		cols = append(cols, storage.Column{
+			Name: string(rune('a' + i)),
+			Kind: storage.KindInt64,
+		})
+	}
+	cols = append(cols, storage.Column{Name: "payload", Kind: storage.KindString})
+	return storage.NewSchema(cols...)
+}
+
+// Generate streams the dataset's tuples to fn in insertion order.
+func (d Dataset) Generate(fn func(storage.Tuple) error) error {
+	if d.Rows < 0 || d.Domain < 1 || d.PayloadMax < 1 {
+		return fmt.Errorf("workload: invalid dataset %+v", d)
+	}
+	if _, err := d.Schema(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	payload := make([]byte, d.PayloadMax)
+	for i := range payload {
+		payload[i] = byte('a' + rng.Intn(26))
+	}
+	for i := 0; i < d.Rows; i++ {
+		vals := make([]storage.Value, 0, d.Columns+1)
+		for c := 0; c < d.Columns; c++ {
+			vals = append(vals, storage.Int64Value(1+rng.Int63n(d.Domain)))
+		}
+		n := 1 + rng.Intn(d.PayloadMax)
+		vals = append(vals, storage.StringValue(string(payload[:n])))
+		if err := fn(storage.NewTuple(vals...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Draw produces a query key given an RNG — one step of a query stream.
+type Draw func(*rand.Rand) int64
+
+// Uniform draws uniformly from [lo, hi].
+func Uniform(lo, hi int64) Draw {
+	if hi < lo {
+		panic(fmt.Sprintf("workload: uniform range [%d, %d]", lo, hi))
+	}
+	return func(rng *rand.Rand) int64 { return lo + rng.Int63n(hi-lo+1) }
+}
+
+// WithHitRate draws from covered with probability p, else from uncovered
+// — the paper's experiment 4 controls the partial-index hit rate this
+// way.
+func WithHitRate(p float64, covered, uncovered Draw) Draw {
+	return func(rng *rand.Rand) int64 {
+		if rng.Float64() < p {
+			return covered(rng)
+		}
+		return uncovered(rng)
+	}
+}
+
+// Zipf draws zipf-distributed values over [1, n] with the given skew
+// (s > 1); an extension generator for skewed-workload ablations.
+func Zipf(s float64, n int64, seed int64) Draw {
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(n-1))
+	return func(*rand.Rand) int64 { return 1 + int64(z.Uint64()) }
+}
+
+// ShiftingRange reproduces the paper's Figure 1 workload: queries draw
+// uniformly from a range that moves linearly from [lo1, hi1] to
+// [lo2, hi2] between query numbers start and end (before start: range 1;
+// after end: range 2). The returned function takes the query number.
+func ShiftingRange(lo1, hi1, lo2, hi2 int64, start, end int) func(q int, rng *rand.Rand) int64 {
+	return func(q int, rng *rand.Rand) int64 {
+		var frac float64
+		switch {
+		case q < start:
+			frac = 0
+		case q >= end:
+			frac = 1
+		default:
+			frac = float64(q-start) / float64(end-start)
+		}
+		lo := lo1 + int64(frac*float64(lo2-lo1))
+		hi := hi1 + int64(frac*float64(hi2-hi1))
+		return Uniform(lo, hi)(rng)
+	}
+}
+
+// Mix selects a column for each query according to weights — the paper's
+// experiment 3 uses (1/2, 1/3, 1/6) over columns (A, B, C), flipping to
+// (1/6, 1/3, 1/2) mid-run.
+type Mix struct {
+	weights []float64
+	total   float64
+}
+
+// NewMix builds a column mix from non-negative weights.
+func NewMix(weights ...float64) (Mix, error) {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return Mix{}, fmt.Errorf("workload: negative weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return Mix{}, fmt.Errorf("workload: all-zero mix")
+	}
+	return Mix{weights: append([]float64(nil), weights...), total: total}, nil
+}
+
+// MustMix is NewMix for static known-good weights.
+func MustMix(weights ...float64) Mix {
+	m, err := NewMix(weights...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Pick returns a column index with probability proportional to its
+// weight.
+func (m Mix) Pick(rng *rand.Rand) int {
+	r := rng.Float64() * m.total
+	for i, w := range m.weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(m.weights) - 1
+}
+
+// Columns returns the number of columns in the mix.
+func (m Mix) Columns() int { return len(m.weights) }

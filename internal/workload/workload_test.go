@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestDatasetSchema(t *testing.T) {
+	d := PaperDataset(100)
+	s, err := d.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumColumns() != 4 {
+		t.Fatalf("columns = %d", s.NumColumns())
+	}
+	for i, name := range []string{"a", "b", "c", "payload"} {
+		if s.Column(i).Name != name {
+			t.Errorf("column %d = %q, want %q", i, s.Column(i).Name, name)
+		}
+	}
+	bad := Dataset{Rows: 1, Columns: 0, Domain: 10, PayloadMax: 10}
+	if _, err := bad.Schema(); err == nil {
+		t.Error("0 columns should fail")
+	}
+}
+
+func TestDatasetGenerate(t *testing.T) {
+	d := PaperDataset(2000)
+	var minV, maxV int64 = math.MaxInt64, 0
+	payloads := map[int]bool{}
+	n := 0
+	err := d.Generate(func(tu storage.Tuple) error {
+		n++
+		for c := 0; c < 3; c++ {
+			v := tu.Value(c).Int64()
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		payloads[len(tu.Value(3).Str())] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 {
+		t.Fatalf("generated %d rows", n)
+	}
+	if minV < 1 || maxV > 50000 {
+		t.Errorf("value range [%d, %d] outside [1, 50000]", minV, maxV)
+	}
+	if maxV < 40000 {
+		t.Errorf("max value %d suspiciously low for uniform draw", maxV)
+	}
+	if len(payloads) < 100 {
+		t.Errorf("only %d distinct payload lengths", len(payloads))
+	}
+}
+
+func TestDatasetDeterminism(t *testing.T) {
+	d := PaperDataset(50)
+	var first []int64
+	_ = d.Generate(func(tu storage.Tuple) error {
+		first = append(first, tu.Value(0).Int64())
+		return nil
+	})
+	i := 0
+	_ = d.Generate(func(tu storage.Tuple) error {
+		if tu.Value(0).Int64() != first[i] {
+			t.Fatalf("row %d differs between runs", i)
+		}
+		i++
+		return nil
+	})
+}
+
+func TestDatasetInvalid(t *testing.T) {
+	if err := (Dataset{Rows: -1, Columns: 1, Domain: 10, PayloadMax: 5}).Generate(nil); err == nil {
+		t.Error("negative rows should fail")
+	}
+	if err := (Dataset{Rows: 1, Columns: 1, Domain: 0, PayloadMax: 5}).Generate(nil); err == nil {
+		t.Error("zero domain should fail")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	draw := Uniform(10, 20)
+	for i := 0; i < 1000; i++ {
+		v := draw(rng)
+		if v < 10 || v > 20 {
+			t.Fatalf("draw %d out of range", v)
+		}
+	}
+	// Degenerate single-value range.
+	one := Uniform(5, 5)
+	if one(rng) != 5 {
+		t.Error("single-value range wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted range should panic")
+		}
+	}()
+	Uniform(20, 10)
+}
+
+func TestWithHitRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	draw := WithHitRate(0.8, Uniform(1, 100), Uniform(1000, 2000))
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if draw(rng) <= 100 {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.77 || rate > 0.83 {
+		t.Errorf("hit rate = %.3f, want ~0.8", rate)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	draw := Zipf(1.5, 1000, 3)
+	rng := rand.New(rand.NewSource(0))
+	low := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := draw(rng)
+		if v < 1 || v > 1000 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+		if v <= 10 {
+			low++
+		}
+	}
+	if float64(low)/n < 0.5 {
+		t.Errorf("zipf not skewed: only %.2f of draws in top 10 values", float64(low)/n)
+	}
+}
+
+func TestShiftingRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := ShiftingRange(1, 14, 16, 30, 200, 300)
+	for q := 0; q < 200; q++ {
+		if v := f(q, rng); v < 1 || v > 14 {
+			t.Fatalf("pre-shift query %d drew %d", q, v)
+		}
+	}
+	for q := 300; q < 500; q++ {
+		if v := f(q, rng); v < 16 || v > 30 {
+			t.Fatalf("post-shift query %d drew %d", q, v)
+		}
+	}
+	// Mid-shift values stay in the convex hull.
+	for q := 200; q < 300; q++ {
+		if v := f(q, rng); v < 1 || v > 30 {
+			t.Fatalf("mid-shift query %d drew %d", q, v)
+		}
+	}
+}
+
+func TestMix(t *testing.T) {
+	m := MustMix(0.5, 1.0/3, 1.0/6) // paper experiment 3
+	if m.Columns() != 3 {
+		t.Fatalf("columns = %d", m.Columns())
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[m.Pick(rng)]++
+	}
+	for i, want := range []float64{0.5, 1.0 / 3, 1.0 / 6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("column %d frequency = %.3f, want %.3f", i, got, want)
+		}
+	}
+	if _, err := NewMix(); err == nil {
+		t.Error("empty mix should fail")
+	}
+	if _, err := NewMix(-1, 2); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewMix(0, 0); err == nil {
+		t.Error("all-zero mix should fail")
+	}
+}
+
+func TestMustMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMix on bad input should panic")
+		}
+	}()
+	MustMix()
+}
