@@ -11,7 +11,7 @@
 //
 // Quick start:
 //
-//	db := repro.Open(repro.Options{SpaceLimit: 100000})
+//	db, _ := repro.Open(repro.Options{SpaceLimit: 100000})
 //	t, _ := db.CreateTable("flights",
 //		repro.Int64Column("delay"),
 //		repro.StringColumn("airport"),
@@ -23,11 +23,17 @@
 //	_ = rows
 //	_ = stats.PagesSkipped
 //
+// A DB is safe for concurrent use: index-covered reads run in parallel
+// across goroutines, while DML and buffer-building scans serialize per
+// table (see DESIGN.md, "Concurrency model"). Long scans can be
+// abandoned via the context-aware variants QueryCtx and QueryRangeCtx.
+//
 // See the examples/ directory for runnable programs and cmd/aibench for
 // the paper's full experiment suite.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -101,6 +107,9 @@ type DB struct {
 // o.DataDir: tables and partial indexes are restored; Index Buffers
 // start fresh.
 func OpenExisting(o Options) (*DB, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	eng, err := engine.Load(engineConfig(o))
 	if err != nil {
 		return nil, err
@@ -108,9 +117,47 @@ func OpenExisting(o Options) (*DB, error) {
 	return &DB{eng: eng}, nil
 }
 
-// Open creates a new in-memory database.
-func Open(o Options) *DB {
-	return &DB{eng: engine.New(engineConfig(o))}
+// Open creates a new database (in-memory unless o.DataDir is set). It
+// fails on nonsensical options rather than silently accepting them; the
+// zero Options value is always valid.
+func Open(o Options) (*DB, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return &DB{eng: engine.New(engineConfig(o))}, nil
+}
+
+// MustOpen is Open for tests and examples where invalid options are a
+// programming error; it panics instead of returning one.
+func MustOpen(o Options) *DB {
+	db, err := Open(o)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// validate rejects option values that Open used to accept silently and
+// misbehave on later.
+func (o Options) validate() error {
+	switch {
+	case o.IMax < 0:
+		return fmt.Errorf("repro: Options.IMax %d is negative", o.IMax)
+	case o.PartitionPages < 0:
+		return fmt.Errorf("repro: Options.PartitionPages %d is negative", o.PartitionPages)
+	case o.HistoryDepth < 0:
+		return fmt.Errorf("repro: Options.HistoryDepth %d is negative", o.HistoryDepth)
+	case o.SpaceLimit < 0:
+		return fmt.Errorf("repro: Options.SpaceLimit %d is negative", o.SpaceLimit)
+	case o.PoolPages < 0:
+		return fmt.Errorf("repro: Options.PoolPages %d is negative", o.PoolPages)
+	}
+	switch o.Structure {
+	case BTree, CSBTree, HashTable:
+	default:
+		return fmt.Errorf("repro: unknown Options.Structure %d", o.Structure)
+	}
+	return nil
 }
 
 // engineConfig maps public options to the engine configuration.
@@ -214,7 +261,7 @@ func (r Row) String(column string) (string, error) {
 func (r Row) value(column string) (storage.Value, error) {
 	i := r.schema.ColumnIndex(column)
 	if i < 0 {
-		return storage.Value{}, fmt.Errorf("repro: no column %q", column)
+		return storage.Value{}, fmt.Errorf("repro: column %q: %w", column, ErrNoColumn)
 	}
 	return r.values[i], nil
 }
@@ -285,7 +332,7 @@ func (t *Table) Delete(rid RID) error { return t.t.Delete(rid) }
 func (t *Table) columnIndex(column string) (int, error) {
 	i := t.schema.ColumnIndex(column)
 	if i < 0 {
-		return 0, fmt.Errorf("repro: table %s has no column %q", t.t.Name(), column)
+		return 0, fmt.Errorf("repro: table %s column %q: %w", t.t.Name(), column, ErrNoColumn)
 	}
 	return i, nil
 }
@@ -346,8 +393,18 @@ func (t *Table) RedefineRangeIndex(column string, lo, hi any) error {
 }
 
 // Query answers column = key, maintaining the Index Buffer machinery as
-// a side effect, and reports the query's cost profile.
+// a side effect, and reports the query's cost profile. It is QueryCtx
+// with context.Background().
 func (t *Table) Query(column string, key any) ([]Row, QueryStats, error) {
+	return t.QueryCtx(context.Background(), column, key)
+}
+
+// QueryCtx is Query honoring ctx: a query that misses the partial index
+// runs a (possibly long) table scan, and the scan checks for
+// cancellation between page reads, returning ctx.Err() when the deadline
+// passes or the context is canceled. Index-covered queries are a handful
+// of page fetches and complete regardless.
+func (t *Table) QueryCtx(ctx context.Context, column string, key any) ([]Row, QueryStats, error) {
 	i, err := t.columnIndex(column)
 	if err != nil {
 		return nil, QueryStats{}, err
@@ -356,26 +413,24 @@ func (t *Table) Query(column string, key any) ([]Row, QueryStats, error) {
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	matches, stats, err := t.t.QueryEqual(i, kv)
+	matches, stats, err := t.t.QueryEqualCtx(ctx, i, kv)
 	if err != nil {
 		return nil, stats, err
 	}
-	rows := make([]Row, len(matches))
-	for j, m := range matches {
-		vals := make([]storage.Value, t.schema.NumColumns())
-		for c := range vals {
-			vals[c] = m.Tuple.Value(c)
-		}
-		rows[j] = Row{RID: m.RID, values: vals, schema: t.schema}
-	}
-	return rows, stats, nil
+	return t.rows(matches), stats, nil
 }
 
 // QueryRange answers lo <= column <= hi. The partial index serves the
 // query only when its predicate covers the entire interval; any other
 // range runs through the same indexing-scan machinery as a point miss,
-// building the Index Buffer as a side effect.
+// building the Index Buffer as a side effect. It is QueryRangeCtx with
+// context.Background().
 func (t *Table) QueryRange(column string, lo, hi any) ([]Row, QueryStats, error) {
+	return t.QueryRangeCtx(context.Background(), column, lo, hi)
+}
+
+// QueryRangeCtx is QueryRange honoring ctx; see QueryCtx.
+func (t *Table) QueryRangeCtx(ctx context.Context, column string, lo, hi any) ([]Row, QueryStats, error) {
 	i, err := t.columnIndex(column)
 	if err != nil {
 		return nil, QueryStats{}, err
@@ -388,10 +443,15 @@ func (t *Table) QueryRange(column string, lo, hi any) ([]Row, QueryStats, error)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	matches, stats, err := t.t.QueryRange(i, lv, hv)
+	matches, stats, err := t.t.QueryRangeCtx(ctx, i, lv, hv)
 	if err != nil {
 		return nil, stats, err
 	}
+	return t.rows(matches), stats, nil
+}
+
+// rows materializes exec matches into public Rows.
+func (t *Table) rows(matches []exec.Match) []Row {
 	rows := make([]Row, len(matches))
 	for j, m := range matches {
 		vals := make([]storage.Value, t.schema.NumColumns())
@@ -400,7 +460,7 @@ func (t *Table) QueryRange(column string, lo, hi any) ([]Row, QueryStats, error)
 		}
 		rows[j] = Row{RID: m.RID, values: vals, schema: t.schema}
 	}
-	return rows, stats, nil
+	return rows
 }
 
 // Explain plans column = key without executing or touching any Index

@@ -7,7 +7,7 @@ import (
 
 func openFlights(t *testing.T, o Options) *Table {
 	t.Helper()
-	db := Open(o)
+	db := MustOpen(o)
 	tb, err := db.CreateTable("flights",
 		Int64Column("delay"),
 		StringColumn("airport"),
@@ -20,7 +20,7 @@ func openFlights(t *testing.T, o Options) *Table {
 }
 
 func TestPublicAPIBasics(t *testing.T) {
-	db := Open(Options{})
+	db := MustOpen(Options{})
 	tb, err := db.CreateTable("flights", Int64Column("delay"), StringColumn("airport"))
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +141,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Buffer stats surface through the facade.
-	bs := Open(Options{}).BufferStats()
+	bs := MustOpen(Options{}).BufferStats()
 	if len(bs) != 0 {
 		t.Error("fresh DB should have no buffers")
 	}
@@ -167,7 +167,7 @@ func airportFor(i int) string {
 }
 
 func TestPublicAPISetIndexAndStats(t *testing.T) {
-	db := Open(Options{IMax: 1000, PartitionPages: 10})
+	db := MustOpen(Options{IMax: 1000, PartitionPages: 10})
 	tb, err := db.CreateTable("t", StringColumn("airport"), StringColumn("pad"))
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +221,7 @@ func TestPublicAPISetIndexAndStats(t *testing.T) {
 
 func TestStructureOptions(t *testing.T) {
 	for _, st := range []Structure{BTree, CSBTree, HashTable} {
-		db := Open(Options{Structure: st, IMax: 1000, PartitionPages: 10})
+		db := MustOpen(Options{Structure: st, IMax: 1000, PartitionPages: 10})
 		tb, err := db.CreateTable("t", Int64Column("k"), StringColumn("pad"))
 		if err != nil {
 			t.Fatal(err)
@@ -252,7 +252,7 @@ func TestStructureOptions(t *testing.T) {
 }
 
 func TestDisableIndexBuffer(t *testing.T) {
-	db := Open(Options{DisableIndexBuffer: true})
+	db := MustOpen(Options{DisableIndexBuffer: true})
 	tb, err := db.CreateTable("t", Int64Column("k"), StringColumn("pad"))
 	if err != nil {
 		t.Fatal(err)
@@ -333,7 +333,7 @@ func TestPublicAPIQueryRange(t *testing.T) {
 }
 
 func TestAutoTunerThroughFacade(t *testing.T) {
-	db := Open(Options{Seed: 4})
+	db := MustOpen(Options{Seed: 4})
 	tb, err := db.CreateTable("e", Int64Column("k"), StringColumn("pad"))
 	if err != nil {
 		t.Fatal(err)
@@ -442,7 +442,7 @@ func TestPublicAPIExplain(t *testing.T) {
 
 func TestPublicAPIPersistence(t *testing.T) {
 	dir := t.TempDir()
-	db := Open(Options{DataDir: dir})
+	db := MustOpen(Options{DataDir: dir})
 	tb, err := db.CreateTable("flights", StringColumn("airport"), Int64Column("delay"))
 	if err != nil {
 		t.Fatal(err)
@@ -483,7 +483,7 @@ func TestPublicAPIPersistence(t *testing.T) {
 		t.Errorf("airport = %q, %v", a, err)
 	}
 	// Saving an in-memory database fails cleanly.
-	if err := Open(Options{}).Save(); err == nil {
+	if err := MustOpen(Options{}).Save(); err == nil {
 		t.Error("Save without DataDir should fail")
 	}
 	if _, err := OpenExisting(Options{}); err == nil {
@@ -524,7 +524,7 @@ func TestTraceReport(t *testing.T) {
 	if _, err := tb.Insert(int64(5), "ORD", "p"); err != nil {
 		t.Fatal(err)
 	}
-	db := Open(Options{})
+	db := MustOpen(Options{})
 	if db.TraceReport() != "no queries recorded" {
 		t.Errorf("fresh report = %q", db.TraceReport())
 	}
@@ -537,7 +537,7 @@ func TestTraceReport(t *testing.T) {
 }
 
 func TestTraceReportThroughDB(t *testing.T) {
-	db := Open(Options{})
+	db := MustOpen(Options{})
 	tb, err := db.CreateTable("t", Int64Column("k"), StringColumn("p"))
 	if err != nil {
 		t.Fatal(err)

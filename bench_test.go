@@ -200,7 +200,7 @@ func BenchmarkAblationStructure(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				db := Open(Options{Structure: c.st, IMax: 200, PartitionPages: 300, Seed: 9})
+				db := MustOpen(Options{Structure: c.st, IMax: 200, PartitionPages: 300, Seed: 9})
 				tb, err := db.CreateTable("data", Int64Column("k"), StringColumn("payload"))
 				if err != nil {
 					b.Fatal(err)

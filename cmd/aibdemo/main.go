@@ -42,7 +42,11 @@ func genAirports(known []string, prefix byte, n int) []string {
 }
 
 func run(rows int) error {
-	db := repro.Open(repro.Options{Seed: 1})
+	db, err := repro.Open(repro.Options{Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aibdemo:", err)
+		os.Exit(1)
+	}
 	flights, err := db.CreateTable("flights",
 		repro.StringColumn("airport"),
 		repro.Int64Column("delay"),

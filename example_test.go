@@ -11,7 +11,7 @@ import (
 // covered queries; an uncovered query scans once and the Index Buffer
 // makes the repeat skip every page.
 func ExampleOpen() {
-	db := repro.Open(repro.Options{})
+	db := repro.MustOpen(repro.Options{})
 	t, _ := db.CreateTable("orders",
 		repro.Int64Column("price"),
 		repro.StringColumn("item"),
@@ -39,7 +39,7 @@ func ExampleOpen() {
 // coverage hits the partial index; one straddling the edge runs the
 // indexing scan yet returns the complete result.
 func ExampleTable_QueryRange() {
-	db := repro.Open(repro.Options{})
+	db := repro.MustOpen(repro.Options{})
 	t, _ := db.CreateTable("m", repro.Int64Column("v"), repro.StringColumn("pad"))
 	for i := 0; i < 1000; i++ {
 		t.Insert(int64(i), strings.Repeat("p", 100))
@@ -58,7 +58,7 @@ func ExampleTable_QueryRange() {
 
 // ExampleTable_Explain previews a query's access path without running it.
 func ExampleTable_Explain() {
-	db := repro.Open(repro.Options{})
+	db := repro.MustOpen(repro.Options{})
 	t, _ := db.CreateTable("m", repro.Int64Column("v"), repro.StringColumn("pad"))
 	for i := 0; i < 500; i++ {
 		t.Insert(int64(i%100), strings.Repeat("p", 200))
@@ -78,7 +78,7 @@ func ExampleTable_Explain() {
 // controller redefines the partial index after a sustained shift, with
 // the Index Buffer bridging the gap meanwhile.
 func ExampleTable_AutoTune() {
-	db := repro.Open(repro.Options{Seed: 1})
+	db := repro.MustOpen(repro.Options{Seed: 1})
 	t, _ := db.CreateTable("e", repro.Int64Column("k"), repro.StringColumn("pad"))
 	for i := 0; i < 4000; i++ {
 		t.Insert(int64(1+i%1000), strings.Repeat("s", 150))

@@ -49,8 +49,16 @@ func main() {
 		return t
 	}
 
-	withBuffer := load(repro.Open(repro.Options{Seed: 3}))
-	baseline := load(repro.Open(repro.Options{Seed: 3, DisableIndexBuffer: true}))
+	dbBuf, err := repro.Open(repro.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbBase, err := repro.Open(repro.Options{Seed: 3, DisableIndexBuffer: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withBuffer := load(dbBuf)
+	baseline := load(dbBase)
 
 	fmt.Printf("flights table: %d pages; partial index covers %d U.S. airports\n\n",
 		withBuffer.NumPages(), len(us))

@@ -23,7 +23,10 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	// Session 1: create, load, index, warm the buffer, save.
-	db := repro.Open(repro.Options{DataDir: dir, Seed: 1})
+	db, err := repro.Open(repro.Options{DataDir: dir, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	t, err := db.CreateTable("events", repro.Int64Column("k"), repro.StringColumn("payload"))
 	if err != nil {
 		log.Fatal(err)

@@ -12,7 +12,10 @@ import (
 )
 
 func main() {
-	db := repro.Open(repro.Options{})
+	db, err := repro.Open(repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	orders, err := db.CreateTable("orders",
 		repro.Int64Column("price"),
 		repro.StringColumn("item"),

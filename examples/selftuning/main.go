@@ -27,7 +27,10 @@ const (
 )
 
 func main() {
-	db := repro.Open(repro.Options{Seed: 3})
+	db, err := repro.Open(repro.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
 	t, err := db.CreateTable("events",
 		repro.Int64Column("k"),
 		repro.StringColumn("payload"),

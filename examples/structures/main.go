@@ -42,7 +42,10 @@ func main() {
 }
 
 func run(st repro.Structure) (time.Duration, int, int, int) {
-	db := repro.Open(repro.Options{Structure: st, Seed: 2})
+	db, err := repro.Open(repro.Options{Structure: st, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	t, err := db.CreateTable("data",
 		repro.Int64Column("k"),
 		repro.StringColumn("payload"),

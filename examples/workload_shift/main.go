@@ -28,12 +28,15 @@ func main() {
 	// information unless its buffer has gone noticeably colder, which
 	// prevents thrash while still letting a real mix shift reallocate the
 	// space.
-	db := repro.Open(repro.Options{
+	db, err := repro.Open(repro.Options{
 		SpaceLimit:     spaceLimit,
 		IMax:           200,
 		PartitionPages: 300,
 		Seed:           5,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	t, err := db.CreateTable("events",
 		repro.Int64Column("a"),
 		repro.Int64Column("b"),

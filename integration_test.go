@@ -17,7 +17,7 @@ import (
 // throughout.
 func TestFullSystemScenario(t *testing.T) {
 	dir := t.TempDir()
-	db := Open(Options{
+	db := MustOpen(Options{
 		DataDir:        dir,
 		SpaceLimit:     6000,
 		IMax:           60,

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // History is the LRU-K access history of one Index Buffer (paper §IV,
 // Table II; O'Neil, O'Neil & Weikum's LRU-K). It records the lengths of
 // the last K access intervals, where an interval is the number of queries
@@ -9,7 +11,13 @@ package core
 // new interval only when the query actually *uses* the buffer (a
 // partial-index miss); every other query — hits on the queried column and
 // all queries on other columns — just lengthens the running interval.
+//
+// History carries its own mutex so concurrent queries can advance the
+// histories of every buffer (Space.OnQuery) without holding any buffer's
+// structural lock; it is the innermost lock of the core package's
+// ordering (Space.mu → IndexBuffer.mu → History.mu).
 type History struct {
+	mu        sync.Mutex
 	intervals []int // intervals[0] is the running interval
 }
 
@@ -25,24 +33,36 @@ func NewHistory(k int) *History {
 }
 
 // K returns the history depth.
-func (h *History) K() int { return len(h.intervals) }
+func (h *History) K() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.intervals)
+}
 
 // Tick lengthens the running interval by one query — the buffer was not
 // used by this query (partial-index hit, or a query on another column).
-func (h *History) Tick() { h.intervals[0]++ }
+func (h *History) Tick() {
+	h.mu.Lock()
+	h.intervals[0]++
+	h.mu.Unlock()
+}
 
 // Use closes the running interval and starts a new one — the buffer was
 // used by this query (partial-index miss on its column). The oldest
 // interval falls out of the window.
 func (h *History) Use() {
+	h.mu.Lock()
 	copy(h.intervals[1:], h.intervals)
 	h.intervals[0] = 0
+	h.mu.Unlock()
 }
 
 // Mean returns the mean access interval T_B = K⁻¹ · Σ H_B[i], floored at
 // 1 so that benefit values b = X / T_B stay finite for buffers used on
 // consecutive queries.
 func (h *History) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	sum := 0
 	for _, v := range h.intervals {
 		sum += v
@@ -56,5 +76,7 @@ func (h *History) Mean() float64 {
 
 // Snapshot returns a copy of the intervals, running interval first.
 func (h *History) Snapshot() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return append([]int(nil), h.intervals...)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/storage"
 )
@@ -14,12 +15,23 @@ import (
 //
 // The buffer consists of partitions (its displacement units), the page
 // counters, and an LRU-K usage history. It is created and sized through
-// a Space and is not safe for concurrent use on its own; the engine
-// serializes access.
+// a Space.
+//
+// Concurrency: every exported method takes the buffer's own RWMutex, so
+// probes (Lookup, Counter) from index-hit queries and displacement drops
+// initiated by scans on *other* tables interleave safely. The mutating
+// scan protocol (BeginPage/AddEntry) is not itself serialized here — the
+// engine guarantees at most one indexing scan per buffer at a time by
+// holding the owning table's write lock, and pins the buffer against
+// displacement for the scan's duration (Space.PinForScan). Lock order:
+// Space.mu → IndexBuffer.mu → History.mu; the buffer never acquires
+// Space.mu (the shared entry budget is atomic).
 type IndexBuffer struct {
 	name  string
 	space *Space
 	cfg   *Config
+
+	mu sync.RWMutex
 
 	// uncovered[p] is the number of live tuples in page p not covered by
 	// the partial index, maintained under all DML (paper: the counter
@@ -33,22 +45,38 @@ type IndexBuffer struct {
 	byPage map[storage.PageID]*Partition
 	nextID int
 
+	// scanPins counts indexing scans currently using this buffer; a
+	// pinned buffer is never chosen as a displacement victim. Guarded by
+	// space.mu, not b.mu (victim selection runs under space.mu).
+	scanPins int
+
 	hist *History
 }
 
 // Name returns the buffer's identifier (typically "table.column").
 func (b *IndexBuffer) Name() string { return b.name }
 
-// History exposes the LRU-K history (read-mostly; the Space advances it).
+// History exposes the LRU-K history (internally synchronized; the Space
+// advances it on every query).
 func (b *IndexBuffer) History() *History { return b.hist }
 
 // NumPages returns the size of the counter array — the number of table
 // pages the buffer knows about.
-func (b *IndexBuffer) NumPages() int { return len(b.uncovered) }
+func (b *IndexBuffer) NumPages() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.uncovered)
+}
 
 // GrowPages extends the counter array for newly allocated table pages.
 // New pages start with zero uncovered tuples; inserts bump them.
 func (b *IndexBuffer) GrowPages(numPages int) {
+	b.mu.Lock()
+	b.growPagesLocked(numPages)
+	b.mu.Unlock()
+}
+
+func (b *IndexBuffer) growPagesLocked(numPages int) {
 	for len(b.uncovered) < numPages {
 		b.uncovered = append(b.uncovered, 0)
 	}
@@ -57,6 +85,12 @@ func (b *IndexBuffer) GrowPages(numPages int) {
 // Counter returns C[p]: 0 when the page is fully indexed (buffered), else
 // the number of uncovered live tuples in the page.
 func (b *IndexBuffer) Counter(p storage.PageID) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.counterLocked(p)
+}
+
+func (b *IndexBuffer) counterLocked(p storage.PageID) int {
 	if int(p) >= len(b.uncovered) {
 		return 0
 	}
@@ -69,6 +103,8 @@ func (b *IndexBuffer) Counter(p storage.PageID) int {
 // Uncovered returns the raw uncovered-tuple count of page p, independent
 // of buffering — what C[p] reverts to when p's partition is dropped.
 func (b *IndexBuffer) Uncovered(p storage.PageID) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if int(p) >= len(b.uncovered) {
 		return 0
 	}
@@ -77,12 +113,16 @@ func (b *IndexBuffer) Uncovered(p storage.PageID) int {
 
 // PageBuffered reports whether page p is covered by a partition.
 func (b *IndexBuffer) PageBuffered(p storage.PageID) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	_, ok := b.byPage[p]
 	return ok
 }
 
 // EntryCount returns the number of entries across all partitions.
 func (b *IndexBuffer) EntryCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	n := 0
 	for _, p := range b.parts {
 		n += p.EntryCount()
@@ -91,13 +131,23 @@ func (b *IndexBuffer) EntryCount() int {
 }
 
 // PartitionCount returns the number of live partitions.
-func (b *IndexBuffer) PartitionCount() int { return len(b.parts) }
+func (b *IndexBuffer) PartitionCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.parts)
+}
 
-// Partitions returns the live partitions (shared slice; do not mutate).
-func (b *IndexBuffer) Partitions() []*Partition { return b.parts }
+// Partitions returns a snapshot of the live partitions.
+func (b *IndexBuffer) Partitions() []*Partition {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]*Partition(nil), b.parts...)
+}
 
 // BufferedPages returns the number of fully indexed pages — Σ X_p.
 func (b *IndexBuffer) BufferedPages() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	n := 0
 	for _, p := range b.parts {
 		n += p.PageCount()
@@ -108,6 +158,12 @@ func (b *IndexBuffer) BufferedPages() int {
 // Benefit returns b_B = Σ_p b_p, the buffer's total benefit under its
 // current mean access interval.
 func (b *IndexBuffer) Benefit() float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.benefitLocked()
+}
+
+func (b *IndexBuffer) benefitLocked() float64 {
 	t := b.hist.Mean()
 	sum := 0.0
 	for _, p := range b.parts {
@@ -120,6 +176,8 @@ func (b *IndexBuffer) Benefit() float64 {
 // collected across all partitions — the "Index Buffer scan" of
 // Algorithm 1 (lines 8–10).
 func (b *IndexBuffer) Lookup(key storage.Value) []storage.RID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	var out []storage.RID
 	for _, p := range b.parts {
 		out = append(out, p.structure.Lookup(key)...)
@@ -145,6 +203,8 @@ type enumerator interface {
 // structural trade-off the paper alludes to when it permits a hash table
 // as the buffer structure.
 func (b *IndexBuffer) LookupRange(lo, hi storage.Value) []storage.RID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	var out []storage.RID
 	for _, p := range b.parts {
 		switch st := p.structure.(type) {
@@ -171,6 +231,8 @@ func (b *IndexBuffer) LookupRange(lo, hi storage.Value) []storage.RID {
 // when the current is complete (X_p == P). Called by the indexing scan
 // for each page in the selected set I before its tuples are added.
 func (b *IndexBuffer) BeginPage(p storage.PageID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if _, dup := b.byPage[p]; dup {
 		return fmt.Errorf("core: page %d already buffered in %s", p, b.name)
 	}
@@ -188,20 +250,22 @@ func (b *IndexBuffer) BeginPage(p storage.PageID) error {
 // partition, charging the Space budget. The page must have been assigned
 // via BeginPage.
 func (b *IndexBuffer) AddEntry(p storage.PageID, key storage.Value, rid storage.RID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	part, ok := b.byPage[p]
 	if !ok {
 		return fmt.Errorf("core: AddEntry on unbuffered page %d in %s", p, b.name)
 	}
 	if part.structure.Insert(key, rid) {
-		b.space.used++
+		b.space.addUsed(1)
 	}
 	return nil
 }
 
 // dropPartition removes part from the buffer: its pages lose their
 // fully-indexed status (C[p] reverts to the uncovered count) and its
-// entries leave the Space budget.
-func (b *IndexBuffer) dropPartition(part *Partition) {
+// entries leave the Space budget. Callers must hold b.mu.
+func (b *IndexBuffer) dropPartitionLocked(part *Partition) {
 	for i, p := range b.parts {
 		if p == part {
 			b.parts = append(b.parts[:i], b.parts[i+1:]...)
@@ -214,14 +278,23 @@ func (b *IndexBuffer) dropPartition(part *Partition) {
 	for pg := range part.pages {
 		delete(b.byPage, pg)
 	}
-	b.space.used -= part.EntryCount()
+	b.space.addUsed(-part.EntryCount())
+}
+
+// dropPartition is the locking wrapper around dropPartitionLocked.
+func (b *IndexBuffer) dropPartition(part *Partition) {
+	b.mu.Lock()
+	b.dropPartitionLocked(part)
+	b.mu.Unlock()
 }
 
 // Reset drops every partition — used when the partial index is redefined
 // (the counters must be rebuilt against the new coverage, so the engine
 // re-creates the buffer afterwards).
 func (b *IndexBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for len(b.parts) > 0 {
-		b.dropPartition(b.parts[0])
+		b.dropPartitionLocked(b.parts[0])
 	}
 }

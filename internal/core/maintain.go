@@ -24,7 +24,13 @@ import "repro/internal/storage"
 // indexed-column value. inIX reports whether the partial index covers the
 // value (the index itself was already updated by the caller).
 func (b *IndexBuffer) MaintainInsert(v storage.Value, rid storage.RID, inIX bool) {
-	b.GrowPages(int(rid.Page) + 1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maintainInsertLocked(v, rid, inIX)
+}
+
+func (b *IndexBuffer) maintainInsertLocked(v storage.Value, rid storage.RID, inIX bool) {
+	b.growPagesLocked(int(rid.Page) + 1)
 	if inIX {
 		return // covered tuples never concern the buffer
 	}
@@ -32,7 +38,7 @@ func (b *IndexBuffer) MaintainInsert(v storage.Value, rid storage.RID, inIX bool
 	if part, ok := b.byPage[rid.Page]; ok {
 		// The page stays fully indexed by absorbing the new tuple.
 		if part.structure.Insert(v, rid) {
-			b.space.used++
+			b.space.addUsed(1)
 		}
 	}
 }
@@ -40,6 +46,12 @@ func (b *IndexBuffer) MaintainInsert(v storage.Value, rid storage.RID, inIX bool
 // MaintainDelete accounts for a deleted tuple. wasInIX reports whether
 // the partial index covered the value.
 func (b *IndexBuffer) MaintainDelete(v storage.Value, rid storage.RID, wasInIX bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maintainDeleteLocked(v, rid, wasInIX)
+}
+
+func (b *IndexBuffer) maintainDeleteLocked(v storage.Value, rid storage.RID, wasInIX bool) {
 	if wasInIX {
 		return
 	}
@@ -48,7 +60,7 @@ func (b *IndexBuffer) MaintainDelete(v storage.Value, rid storage.RID, wasInIX b
 	}
 	if part, ok := b.byPage[rid.Page]; ok {
 		if part.structure.Delete(v, rid) {
-			b.space.used--
+			b.space.addUsed(-1)
 		}
 	}
 }
@@ -67,12 +79,16 @@ func (b *IndexBuffer) MaintainUpdate(old, new storage.Value, oldRID, newRID stor
 		return
 	}
 	// Decompose into the delete of (old, oldRID) and the insert of
-	// (new, newRID); the composition reproduces every Table I cell:
+	// (new, newRID), under one lock acquisition so concurrent probes never
+	// observe the half-applied state; the composition reproduces every
+	// Table I cell:
 	//
 	//	told∈IX, tnew∉IX:  pnew∈B → B.Add(tnew);  pnew∉B → C[pnew]++
 	//	told∉IX, tnew∈IX:  pold∈B → B.Remove(told); pold∉B → C[pold]--
 	//	told∉IX, tnew∉IX:  both effects, covering the four p∈B cells
 	//	                   (B.Update == B.Remove + B.Add when both in B).
-	b.MaintainDelete(old, oldRID, oldInIX)
-	b.MaintainInsert(new, newRID, newInIX)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maintainDeleteLocked(old, oldRID, oldInIX)
+	b.maintainInsertLocked(new, newRID, newInIX)
 }

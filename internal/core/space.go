@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -12,13 +14,21 @@ import (
 // database buffer that holds all Index Buffers. It owns the entry budget,
 // the LRU-K bookkeeping across buffers (Table II), and the page-selection
 // / displacement policy (Algorithm 2).
+//
+// Concurrency: the Space's mutex guards the buffer registry and
+// serializes displacement (SelectPagesForBuffer), which is the only path
+// that reaches across buffers. The entry budget is an atomic counter so
+// buffers can charge and release it under their own locks without
+// touching the Space's mutex — the lock order is strictly
+// Space.mu → IndexBuffer.mu → History.mu, never the reverse.
 type Space struct {
-	cfg     Config
+	cfg  Config
+	used atomic.Int64 // total entries across all buffers
+
+	mu      sync.Mutex
 	buffers map[string]*IndexBuffer
 	order   []string // creation order, for deterministic iteration
-	used    int      // total entries across all buffers
-
-	stats SpaceStats
+	stats   SpaceStats
 }
 
 // SpaceStats counts management activity.
@@ -37,7 +47,11 @@ func NewSpace(cfg Config) *Space {
 func (s *Space) Config() Config { return s.cfg }
 
 // Used returns the total number of entries currently held.
-func (s *Space) Used() int { return s.used }
+func (s *Space) Used() int { return int(s.used.Load()) }
+
+// addUsed adjusts the entry budget; called by buffers under their own
+// locks, hence atomic rather than guarded by s.mu.
+func (s *Space) addUsed(delta int) { s.used.Add(int64(delta)) }
 
 // Free returns the remaining entry budget n_F. It is negative when
 // maintenance inserts pushed usage past the limit (only scans trigger
@@ -46,17 +60,23 @@ func (s *Space) Free() int {
 	if s.cfg.SpaceLimit <= 0 {
 		return math.MaxInt / 2
 	}
-	return s.cfg.SpaceLimit - s.used
+	return s.cfg.SpaceLimit - s.Used()
 }
 
 // Stats returns a snapshot of the management counters.
-func (s *Space) Stats() SpaceStats { return s.stats }
+func (s *Space) Stats() SpaceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // CreateBuffer registers a new Index Buffer. uncovered[p] must hold, for
 // each table page, the number of live tuples not covered by the partial
 // index — the paper's counter initialization at partial-index creation
 // (§III). The name must be unique.
 func (s *Space) CreateBuffer(name string, uncovered []int) (*IndexBuffer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.buffers[name]; dup {
 		return nil, fmt.Errorf("core: buffer %q already exists", name)
 	}
@@ -76,25 +96,34 @@ func (s *Space) CreateBuffer(name string, uncovered []int) (*IndexBuffer, error)
 // DropBuffer removes a buffer and releases its entries (partial index
 // dropped or redefined).
 func (s *Space) DropBuffer(name string) {
+	s.mu.Lock()
 	b, ok := s.buffers[name]
-	if !ok {
-		return
-	}
-	b.Reset()
-	delete(s.buffers, name)
-	for i, n := range s.order {
-		if n == name {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
+	if ok {
+		delete(s.buffers, name)
+		for i, n := range s.order {
+			if n == name {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
 		}
+	}
+	s.mu.Unlock()
+	if b != nil {
+		b.Reset()
 	}
 }
 
 // Buffer returns the named buffer, or nil.
-func (s *Space) Buffer(name string) *IndexBuffer { return s.buffers[name] }
+func (s *Space) Buffer(name string) *IndexBuffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buffers[name]
+}
 
 // Buffers returns all buffers in creation order.
 func (s *Space) Buffers() []*IndexBuffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]*IndexBuffer, 0, len(s.order))
 	for _, n := range s.order {
 		out = append(out, s.buffers[n])
@@ -108,6 +137,8 @@ func (s *Space) Buffers() []*IndexBuffer {
 // answered the query. Only an actual buffer use — a miss on the queried
 // column — closes that buffer's running interval.
 func (s *Space) OnQuery(queried *IndexBuffer, partialHit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, n := range s.order {
 		b := s.buffers[n]
 		if b == queried && !partialHit {
@@ -115,6 +146,29 @@ func (s *Space) OnQuery(queried *IndexBuffer, partialHit bool) {
 		} else {
 			b.hist.Tick()
 		}
+	}
+}
+
+// PinForScan marks the buffer as the subject of an in-flight indexing
+// scan and returns the release function. A pinned buffer is never chosen
+// as a displacement victim: the scan's skip decisions (C[p] == 0) and its
+// already-collected buffer matches assume the buffer's partitions stay
+// put, so a concurrent displacement on behalf of another table's scan
+// could otherwise duplicate or lose results — the same scan/displacement
+// conflict Graefe et al. resolve with latches in "Concurrency Control for
+// Adaptive Indexing". The engine pins before SelectPagesForBuffer and
+// releases after the scan's last page.
+func (s *Space) PinForScan(b *IndexBuffer) (release func()) {
+	s.mu.Lock()
+	b.scanPins++
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			b.scanPins--
+			s.mu.Unlock()
+		})
 	}
 }
 
@@ -127,9 +181,12 @@ func (s *Space) OnQuery(queried *IndexBuffer, partialHit bool) {
 // I sorted ascending.
 //
 // candidates is the scan range R as counter-bearing pages; callers pass
-// every table page (the scan range of the query).
+// every table page (the scan range of the query). The Space's mutex is
+// held throughout, serializing displacement globally; per-buffer locks
+// are taken underneath it for the actual reads and drops.
 func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storage.PageID {
-	target.GrowPages(numPages)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
 	// Candidate pages: C[p] > 0, ascending counter — cheapest pages
 	// first, maximizing skippable pages per buffer entry (§III: pages
@@ -139,12 +196,15 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 		n    int // entries the page would add == C[p]
 	}
 	var cands []cand
+	target.mu.Lock()
+	target.growPagesLocked(numPages)
 	for p := 0; p < numPages; p++ {
 		pg := storage.PageID(p)
-		if c := target.Counter(pg); c > 0 {
+		if c := target.counterLocked(pg); c > 0 {
 			cands = append(cands, cand{pg, c})
 		}
 	}
+	target.mu.Unlock()
 	switch s.cfg.Selection {
 	case DescendingCounter:
 		sort.Slice(cands, func(i, j int) bool {
@@ -202,8 +262,8 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 			break
 		}
 		excluded[v.part] = true
-		nextEntries := victimEntries + v.part.EntryCount()
-		nextBenefit := victimBenefit + v.part.benefit(v.owner.hist.Mean())
+		nextEntries := victimEntries + v.entries
+		nextBenefit := victimBenefit + v.benefit
 		nextAccepted, _ := fit(s.Free() + nextEntries)
 		if benefitOf(nextAccepted) <= nextBenefit || nextAccepted == accepted {
 			break // the paper's until-condition: reject the enlargement
@@ -217,7 +277,7 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 	// Perform the accepted drops.
 	for _, v := range victims {
 		s.stats.PartitionsDropped++
-		s.stats.EntriesDropped += uint64(v.part.EntryCount())
+		s.stats.EntriesDropped += uint64(v.entries)
 		v.owner.dropPartition(v.part)
 	}
 
@@ -230,11 +290,14 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 	return out
 }
 
-// victimOwners is scratch space pairing victims with their buffers during
-// SelectPagesForBuffer.
+// victimRef pairs a chosen victim partition with its owning buffer during
+// SelectPagesForBuffer, along with the size and benefit observed at
+// selection time (read under the owner's lock).
 type victimRef struct {
-	part  *Partition
-	owner *IndexBuffer
+	part    *Partition
+	owner   *IndexBuffer
+	entries int
+	benefit float64
 }
 
 // selectNextVictim implements the paper's two-staged victim selection:
@@ -242,6 +305,8 @@ type victimRef struct {
 // inverse benefit (low-benefit buffers are likelier); stage 2 picks that
 // buffer's incomplete partition first, then complete partitions in
 // descending entry count. Partitions in excluded are already chosen.
+// Buffers pinned by an in-flight indexing scan are never victims.
+// Called with s.mu held.
 func (s *Space) selectNextVictim(target *IndexBuffer, excluded map[*Partition]bool) *victimRef {
 	type choice struct {
 		buf    *IndexBuffer
@@ -251,7 +316,7 @@ func (s *Space) selectNextVictim(target *IndexBuffer, excluded map[*Partition]bo
 	total := 0.0
 	for _, n := range s.order {
 		b := s.buffers[n]
-		if b == target {
+		if b == target || b.scanPins > 0 {
 			continue
 		}
 		if !b.hasDroppable(excluded) {
@@ -286,15 +351,25 @@ func (s *Space) selectNextVictim(target *IndexBuffer, excluded map[*Partition]bo
 	if picked == nil {
 		picked = choices[len(choices)-1].buf
 	}
-	part := picked.pickVictimPartition(excluded, s.cfg.P)
+	picked.mu.RLock()
+	part := picked.pickVictimPartitionLocked(excluded, s.cfg.P)
+	var entries int
+	var benefit float64
+	if part != nil {
+		entries = part.EntryCount()
+		benefit = part.benefit(picked.hist.Mean())
+	}
+	picked.mu.RUnlock()
 	if part == nil {
 		return nil
 	}
-	return &victimRef{part: part, owner: picked}
+	return &victimRef{part: part, owner: picked, entries: entries, benefit: benefit}
 }
 
 // hasDroppable reports whether the buffer has a partition not yet chosen.
 func (b *IndexBuffer) hasDroppable(excluded map[*Partition]bool) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	for _, p := range b.parts {
 		if !excluded[p] {
 			return true
@@ -303,10 +378,11 @@ func (b *IndexBuffer) hasDroppable(excluded map[*Partition]bool) bool {
 	return false
 }
 
-// pickVictimPartition applies stage 2: the incomplete partition (X_p < P)
-// has the lowest benefit and goes first; complete partitions follow in
-// descending size n_p (equal benefit, so free the most space).
-func (b *IndexBuffer) pickVictimPartition(excluded map[*Partition]bool, P int) *Partition {
+// pickVictimPartitionLocked applies stage 2: the incomplete partition
+// (X_p < P) has the lowest benefit and goes first; complete partitions
+// follow in descending size n_p (equal benefit, so free the most space).
+// Callers hold b.mu.
+func (b *IndexBuffer) pickVictimPartitionLocked(excluded map[*Partition]bool, P int) *Partition {
 	var incomplete *Partition
 	var best *Partition
 	for _, p := range b.parts {

@@ -4,16 +4,26 @@
 // every partial index. It exposes the DML and query surface the paper's
 // experiments run against.
 //
-// The engine serializes all operations with one exclusive lock: queries
-// are writers here, because an indexing scan mutates the Index Buffer
-// (that is its purpose) and every query advances the LRU-K histories.
+// Concurrency model (see DESIGN.md for the full treatment): the engine
+// holds no global operation lock. A catalog RWMutex guards only table
+// creation and lookup; each table carries its own RWMutex. Queries
+// answered by the partial index or by a plain full scan take the table
+// lock shared — they read the heap and advance only internally
+// synchronized state (LRU-K histories, tracer) — so index-covered reads
+// on different tables, and on different columns of the same table, run
+// fully in parallel. Indexing scans (which mutate C[p] counters and
+// insert buffer entries, paper Algorithms 1/2) and all DML take the
+// table lock exclusive. Lock order: Engine.mu → Table.mu → Space.mu →
+// IndexBuffer.mu → History.mu.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -58,7 +68,8 @@ const defaultPoolPages = 256
 
 // Engine is the top-level database object. Safe for concurrent use.
 type Engine struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex // catalog lock: guards tables (create/lookup only)
+	closed atomic.Bool
 	cfg    Config
 	space  *core.Space
 	tables map[string]*Table
@@ -88,13 +99,27 @@ func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 // stats). Callers must not mutate it.
 func (e *Engine) Space() *core.Space { return e.space }
 
+// checkOpen fails with ErrClosed once Close has run.
+func (e *Engine) checkOpen() error {
+	if e.closed.Load() {
+		return fmt.Errorf("engine: %w", ErrClosed)
+	}
+	return nil
+}
+
 // Close flushes every table's buffer pool and closes file-backed stores.
-// It is a no-op for purely in-memory engines.
+// Subsequent operations fail with ErrClosed. Close waits for in-flight
+// operations by taking every table's exclusive lock; it is a no-op for
+// the stores of purely in-memory engines.
 func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil // already closed
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var first error
 	for _, t := range e.tables {
+		t.mu.Lock()
 		if err := t.pool.FlushAll(); err != nil && first == nil {
 			first = err
 		}
@@ -103,6 +128,7 @@ func (e *Engine) Close() error {
 				first = err
 			}
 		}
+		t.mu.Unlock()
 	}
 	return first
 }
@@ -115,10 +141,19 @@ type pageStore interface {
 }
 
 // Table is one heap table with its indexes and Index Buffers.
+//
+// The table's RWMutex is the unit of isolation for everything hanging
+// off the table: DML, index DDL, vacuum, and indexing scans take it
+// exclusive; index-hit queries, full scans, explains and raw scans take
+// it shared. The Index Buffer and Space carry their own locks underneath
+// because displacement on behalf of *another* table's scan may reach
+// into this table's buffers without holding this table's lock.
 type Table struct {
-	engine  *Engine
-	name    string
-	schema  *storage.Schema
+	engine *Engine
+	name   string
+	schema *storage.Schema
+
+	mu      sync.RWMutex
 	store   pageStore
 	pool    *buffer.Pool
 	heap    *heap.Table
@@ -128,10 +163,13 @@ type Table struct {
 
 // CreateTable registers a new empty table.
 func (e *Engine) CreateTable(name string, schema *storage.Schema) (*Table, error) {
+	if err := e.checkOpen(); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.tables[name]; dup {
-		return nil, fmt.Errorf("engine: table %q already exists", name)
+		return nil, fmt.Errorf("engine: table %q: %w", name, ErrDuplicateTable)
 	}
 	var store pageStore
 	if e.cfg.DataDir != "" {
@@ -167,15 +205,15 @@ func (e *Engine) CreateTable(name string, schema *storage.Schema) (*Table, error
 
 // Table returns the named table, or nil.
 func (e *Engine) Table(name string) *Table {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.tables[name]
 }
 
 // TableNames returns all table names, sorted.
 func (e *Engine) TableNames() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]string, 0, len(e.tables))
 	for n := range e.tables {
 		out = append(out, n)
@@ -192,35 +230,43 @@ func (t *Table) Schema() *storage.Schema { return t.schema }
 
 // NumPages returns the heap page count.
 func (t *Table) NumPages() int {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.heap.NumPages()
 }
 
 // DiskStats returns device-level I/O counters for the table's store.
-func (t *Table) DiskStats() buffer.IOStats { return t.store.Stats() }
+func (t *Table) DiskStats() buffer.IOStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.store.Stats()
+}
 
 // PoolStats returns the table's buffer-pool counters.
-func (t *Table) PoolStats() buffer.PoolStats { return t.pool.Stats() }
+func (t *Table) PoolStats() buffer.PoolStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.pool.Stats()
+}
 
 // Index returns the partial index on the column, or nil.
 func (t *Table) Index(column int) *index.Partial {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.indexes[column]
 }
 
 // Buffer returns the Index Buffer on the column, or nil.
 func (t *Table) Buffer(column int) *core.IndexBuffer {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.buffers[column]
 }
 
 // checkColumn validates a column ordinal.
 func (t *Table) checkColumn(column int) error {
 	if column < 0 || column >= t.schema.NumColumns() {
-		return fmt.Errorf("engine: table %s has no column %d", t.name, column)
+		return fmt.Errorf("engine: table %s column %d: %w", t.name, column, ErrNoColumn)
 	}
 	return nil
 }
@@ -236,13 +282,16 @@ func (t *Table) bufferName(column int) string {
 // initializes the page counters — "the number of tuples in the page minus
 // the tuples covered by the partial index" (paper §III).
 func (t *Table) CreatePartialIndex(column int, cov index.Coverage) error {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	if err := t.engine.checkOpen(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.checkColumn(column); err != nil {
 		return err
 	}
 	if _, dup := t.indexes[column]; dup {
-		return fmt.Errorf("engine: column %d of %s already indexed", column, t.name)
+		return fmt.Errorf("engine: column %d of %s: %w", column, t.name, ErrDuplicateIndex)
 	}
 	ix := index.NewPartial(t.bufferName(column), column, cov)
 	uncovered := make([]int, t.heap.NumPages())
@@ -271,10 +320,13 @@ func (t *Table) CreatePartialIndex(column int, cov index.Coverage) error {
 // DropIndex removes the column's partial index and its Index Buffer,
 // releasing the buffer's Index Buffer Space.
 func (t *Table) DropIndex(column int) error {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	if err := t.engine.checkOpen(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.indexes[column] == nil {
-		return fmt.Errorf("engine: column %d of %s has no index", column, t.name)
+		return fmt.Errorf("engine: column %d of %s: %w", column, t.name, ErrNoIndex)
 	}
 	delete(t.indexes, column)
 	if t.buffers[column] != nil {
@@ -289,11 +341,14 @@ func (t *Table) DropIndex(column int) error {
 // recreated with counters matching the new coverage, since its contents
 // were defined relative to the old predicate.
 func (t *Table) RedefineIndex(column int, cov index.Coverage) error {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	if err := t.engine.checkOpen(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	ix := t.indexes[column]
 	if ix == nil {
-		return fmt.Errorf("engine: column %d of %s has no index", column, t.name)
+		return fmt.Errorf("engine: column %d of %s: %w", column, t.name, ErrNoIndex)
 	}
 	if _, err := ix.Rebuild(cov, t.heap); err != nil {
 		return err
@@ -322,8 +377,11 @@ func (t *Table) RedefineIndex(column int, cov index.Coverage) error {
 
 // Insert adds a tuple, maintaining every index and Index Buffer.
 func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	if err := t.engine.checkOpen(); err != nil {
+		return storage.InvalidRID, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	rid, err := t.heap.Insert(tu)
 	if err != nil {
 		return storage.InvalidRID, err
@@ -343,15 +401,18 @@ func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
 
 // Get fetches the tuple at rid.
 func (t *Table) Get(rid storage.RID) (storage.Tuple, error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.heap.Get(rid)
 }
 
 // Delete removes the tuple at rid, maintaining indexes and buffers.
 func (t *Table) Delete(rid storage.RID) error {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	if err := t.engine.checkOpen(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	old, err := t.heap.Get(rid)
 	if err != nil {
 		return err
@@ -375,8 +436,11 @@ func (t *Table) Delete(rid storage.RID) error {
 // Update replaces the tuple at rid, returning the possibly relocated RID
 // and maintaining indexes and buffers per the paper's Table I.
 func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	if err := t.engine.checkOpen(); err != nil {
+		return storage.InvalidRID, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	old, err := t.heap.Get(rid)
 	if err != nil {
 		return storage.InvalidRID, err
@@ -398,15 +462,15 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 
 // Scan iterates every live tuple (a raw full scan, no buffer effects).
 func (t *Table) Scan(fn func(storage.RID, storage.Tuple) error) error {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.heap.Scan(fn)
 }
 
 // Count returns the live tuple count.
 func (t *Table) Count() (int, error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := 0
 	err := t.heap.Scan(func(storage.RID, storage.Tuple) error { n++; return nil })
 	return n, err
@@ -415,13 +479,50 @@ func (t *Table) Count() (int, error) {
 // QueryEqual answers column = key through the best available access
 // path, maintaining the Index Buffer machinery as a side effect.
 func (t *Table) QueryEqual(column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	return t.QueryEqualCtx(context.Background(), column, key)
+}
+
+// QueryEqualCtx is QueryEqual honoring ctx: a long indexing or full scan
+// checks for cancellation between page reads and returns ctx.Err().
+//
+// Locking: the query is first planned under the table's read lock. A
+// partial-index hit or a plain full scan executes right there — multiple
+// such readers run in parallel, and no engine-wide exclusive lock is
+// taken. Only a buffer miss that needs an indexing scan (a mutation of
+// the Index Buffer) re-enters under the exclusive lock; the plan is
+// implicitly re-validated because exec.Equal re-dispatches on the state
+// it finds there.
+func (t *Table) QueryEqualCtx(ctx context.Context, column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
+	if err := t.engine.checkOpen(); err != nil {
+		return nil, exec.QueryStats{}, err
+	}
+
+	t.mu.RLock()
 	a, err := t.accessLocked(column)
+	if err != nil {
+		t.mu.RUnlock()
+		return nil, exec.QueryStats{}, err
+	}
+	if !a.NeedsIndexingScan(key) {
+		defer t.mu.RUnlock()
+		return t.runEqual(ctx, a, column, key)
+	}
+	t.mu.RUnlock()
+
+	// Indexing scan: the buffer is about to be mutated — exclusive. The
+	// access path is re-resolved under the write lock since an index
+	// redefinition may have slipped in between the two acquisitions.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, err = t.accessLocked(column)
 	if err != nil {
 		return nil, exec.QueryStats{}, err
 	}
-	matches, stats, err := exec.Equal(a, key)
+	return t.runEqual(ctx, a, column, key)
+}
+
+func (t *Table) runEqual(ctx context.Context, a exec.Access, column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
+	matches, stats, err := exec.Equal(ctx, a, key)
 	if err == nil {
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
 	}
@@ -432,13 +533,39 @@ func (t *Table) QueryEqual(column int, key storage.Value) ([]exec.Match, exec.Qu
 // query only when its predicate covers the whole interval; otherwise the
 // query runs through the same indexing-scan machinery as a point miss.
 func (t *Table) QueryRange(column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	return t.QueryRangeCtx(context.Background(), column, lo, hi)
+}
+
+// QueryRangeCtx is QueryRange honoring ctx; see QueryEqualCtx for the
+// locking protocol.
+func (t *Table) QueryRangeCtx(ctx context.Context, column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {
+	if err := t.engine.checkOpen(); err != nil {
+		return nil, exec.QueryStats{}, err
+	}
+
+	t.mu.RLock()
 	a, err := t.accessLocked(column)
+	if err != nil {
+		t.mu.RUnlock()
+		return nil, exec.QueryStats{}, err
+	}
+	if !a.NeedsIndexingScanRange(lo, hi) {
+		defer t.mu.RUnlock()
+		return t.runRange(ctx, a, column, lo, hi)
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, err = t.accessLocked(column)
 	if err != nil {
 		return nil, exec.QueryStats{}, err
 	}
-	matches, stats, err := exec.Range(a, lo, hi)
+	return t.runRange(ctx, a, column, lo, hi)
+}
+
+func (t *Table) runRange(ctx context.Context, a exec.Access, column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {
+	matches, stats, err := exec.Range(ctx, a, lo, hi)
 	if err == nil {
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
 	}
@@ -447,8 +574,8 @@ func (t *Table) QueryRange(column int, lo, hi storage.Value) ([]exec.Match, exec
 
 // ExplainEqual plans column = key without executing or mutating state.
 func (t *Table) ExplainEqual(column int, key storage.Value) (exec.Plan, error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	a, err := t.accessLocked(column)
 	if err != nil {
 		return exec.Plan{}, err
@@ -458,8 +585,8 @@ func (t *Table) ExplainEqual(column int, key storage.Value) (exec.Plan, error) {
 
 // ExplainRange plans lo <= column <= hi without executing.
 func (t *Table) ExplainRange(column int, lo, hi storage.Value) (exec.Plan, error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	a, err := t.accessLocked(column)
 	if err != nil {
 		return exec.Plan{}, err

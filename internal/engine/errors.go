@@ -1,0 +1,20 @@
+package engine
+
+import "errors"
+
+// Sentinel errors for the engine's public surface. Call sites wrap them
+// with %w and situational detail (table, column), so callers match with
+// errors.Is rather than string comparison; the repro facade re-exports
+// them as repro.ErrNoColumn etc.
+var (
+	// ErrNoColumn marks a reference to a column the table does not have.
+	ErrNoColumn = errors.New("no such column")
+	// ErrNoIndex marks an index operation on a column without one.
+	ErrNoIndex = errors.New("column has no index")
+	// ErrDuplicateIndex marks index creation on an already-indexed column.
+	ErrDuplicateIndex = errors.New("column already indexed")
+	// ErrDuplicateTable marks creation of a table whose name is taken.
+	ErrDuplicateTable = errors.New("table already exists")
+	// ErrClosed marks any operation on an engine after Close.
+	ErrClosed = errors.New("database is closed")
+)

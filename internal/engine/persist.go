@@ -18,8 +18,11 @@ import (
 // have nothing durable to save. Index Buffers are not persisted — they
 // are volatile by design (paper §III) and start empty after Load.
 func (e *Engine) Save() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.cfg.DataDir == "" {
 		return fmt.Errorf("engine: Save requires a DataDir-backed engine")
 	}
@@ -32,38 +35,52 @@ func (e *Engine) Save() error {
 	sort.Strings(names)
 	for _, n := range names {
 		t := e.tables[n]
-		if err := t.pool.FlushAll(); err != nil {
-			return fmt.Errorf("engine: flushing %s: %w", n, err)
+		t.mu.RLock()
+		err := t.saveMetaLocked(&cat)
+		t.mu.RUnlock()
+		if err != nil {
+			return err
 		}
-		if fs, ok := t.store.(*buffer.FileStore); ok {
-			if err := fs.Sync(); err != nil {
-				return fmt.Errorf("engine: syncing %s: %w", n, err)
-			}
-		}
-		tm := catalog.TableMeta{Name: n, NumPages: t.heap.NumPages()}
-		for c := 0; c < t.schema.NumColumns(); c++ {
-			col := t.schema.Column(c)
-			kind, err := catalog.EncodeKind(col.Kind)
-			if err != nil {
-				return err
-			}
-			tm.Columns = append(tm.Columns, catalog.ColumnMeta{Name: col.Name, Kind: kind})
-		}
-		cols := make([]int, 0, len(t.indexes))
-		for c := range t.indexes {
-			cols = append(cols, c)
-		}
-		sort.Ints(cols)
-		for _, c := range cols {
-			cov, err := catalog.EncodeCoverage(t.indexes[c].Coverage())
-			if err != nil {
-				return fmt.Errorf("engine: index on %s column %d: %w", n, c, err)
-			}
-			tm.Indexes = append(tm.Indexes, catalog.IndexMeta{Column: c, Coverage: cov})
-		}
-		cat.Tables = append(cat.Tables, tm)
 	}
 	return catalog.Save(e.cfg.DataDir, cat)
+}
+
+// saveMetaLocked flushes one table and appends its catalog entry; the
+// caller holds the table's lock (shared suffices: the pool is internally
+// synchronized and the schema/index set cannot change underneath).
+func (t *Table) saveMetaLocked(cat *catalog.Catalog) error {
+	n := t.name
+	if err := t.pool.FlushAll(); err != nil {
+		return fmt.Errorf("engine: flushing %s: %w", n, err)
+	}
+	if fs, ok := t.store.(*buffer.FileStore); ok {
+		if err := fs.Sync(); err != nil {
+			return fmt.Errorf("engine: syncing %s: %w", n, err)
+		}
+	}
+	tm := catalog.TableMeta{Name: n, NumPages: t.heap.NumPages()}
+	for c := 0; c < t.schema.NumColumns(); c++ {
+		col := t.schema.Column(c)
+		kind, err := catalog.EncodeKind(col.Kind)
+		if err != nil {
+			return err
+		}
+		tm.Columns = append(tm.Columns, catalog.ColumnMeta{Name: col.Name, Kind: kind})
+	}
+	cols := make([]int, 0, len(t.indexes))
+	for c := range t.indexes {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	for _, c := range cols {
+		cov, err := catalog.EncodeCoverage(t.indexes[c].Coverage())
+		if err != nil {
+			return fmt.Errorf("engine: index on %s column %d: %w", n, c, err)
+		}
+		tm.Indexes = append(tm.Indexes, catalog.IndexMeta{Column: c, Coverage: cov})
+	}
+	cat.Tables = append(cat.Tables, tm)
+	return nil
 }
 
 // Load opens a previously saved database from cfg.DataDir: it reattaches

@@ -22,8 +22,11 @@ import (
 // rewritten via a temporary file renamed into place. Vacuum returns the
 // page counts before and after.
 func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
+	if err := t.engine.checkOpen(); err != nil {
+		return 0, 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 
 	pagesBefore = t.heap.NumPages()
 

@@ -3,9 +3,16 @@
 // is the indexing table scan of the paper's Algorithm 1: a scan that
 // consults the Index Buffer, skips fully indexed pages (counter C[p] ==
 // 0), and opportunistically indexes the pages selected by Algorithm 2.
+//
+// Execution is context-aware: the page-at-a-time loops of the indexing
+// scan and the full scan check for cancellation between page reads, so a
+// long scan over a cold table can be abandoned mid-flight. The caller
+// (the engine) provides the isolation: an indexing scan must run with the
+// table's write lock held, everything else is safe under a read lock.
 package exec
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -52,10 +59,26 @@ type Access struct {
 	Space  *core.Space
 }
 
+// NeedsIndexingScan reports whether the equality query column = key would
+// run an indexing scan — the only execution path that mutates the Index
+// Buffer and therefore needs exclusive access to the table.
+func (a Access) NeedsIndexingScan(key storage.Value) bool {
+	return a.Buffer != nil && !(a.Index != nil && a.Index.Covers(key))
+}
+
+// NeedsIndexingScanRange is NeedsIndexingScan for lo <= column <= hi.
+func (a Access) NeedsIndexingScanRange(lo, hi storage.Value) bool {
+	if hi.Compare(lo) < 0 {
+		return false
+	}
+	return a.Buffer != nil && !(a.Index != nil && a.Index.CoversRange(lo, hi))
+}
+
 // Equal answers the equality query column = key, maintaining the Index
 // Buffer along the way. It is the top-level dispatch: partial-index hit →
 // index scan; miss with a buffer → Algorithm 1; miss without → full scan.
-func Equal(a Access, key storage.Value) ([]Match, QueryStats, error) {
+// ctx is honored between page reads of the scanning paths.
+func Equal(ctx context.Context, a Access, key storage.Value) ([]Match, QueryStats, error) {
 	start := time.Now()
 	stats := QueryStats{Key: key}
 
@@ -72,10 +95,10 @@ func Equal(a Access, key storage.Value) ([]Match, QueryStats, error) {
 	case hit:
 		out, err = fetchRIDs(a, a.Index.Lookup(key), &stats)
 	case a.Buffer != nil:
-		out, err = indexingScan(a, key, &stats)
+		out, err = indexingScan(ctx, a, key, &stats)
 	default:
 		stats.FullScan = true
-		out, err = fullScan(a, key, &stats)
+		out, err = fullScan(ctx, a, key, &stats)
 	}
 	if err != nil {
 		return nil, stats, err
@@ -112,8 +135,13 @@ func fetchRIDs(a Access, rids []storage.RID, stats *QueryStats) ([]Match, error)
 
 // indexingScan is the paper's Algorithm 1. The page set I to index comes
 // from Algorithm 2 (Space.SelectPagesForBuffer), which also performs any
-// displacement needed to make room.
-func indexingScan(a Access, key storage.Value, stats *QueryStats) ([]Match, error) {
+// displacement needed to make room. The buffer is pinned for the scan's
+// duration so a concurrent scan on another table cannot displace the
+// partitions this scan's skip decisions depend on.
+func indexingScan(ctx context.Context, a Access, key storage.Value, stats *QueryStats) ([]Match, error) {
+	release := a.Space.PinForScan(a.Buffer)
+	defer release()
+
 	numPages := a.Table.NumPages()
 	selected := a.Space.SelectPagesForBuffer(a.Buffer, numPages) // I ← SelectPagesForBuffer()
 	stats.PagesSelected = len(selected)
@@ -132,6 +160,9 @@ func indexingScan(a Access, key storage.Value, stats *QueryStats) ([]Match, erro
 
 	// Table scan (lines 11–17): skip pages with C[p] == 0.
 	for p := 0; p < numPages; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pg := storage.PageID(p)
 		if a.Buffer.Counter(pg) == 0 {
 			stats.PagesSkipped++
@@ -165,10 +196,13 @@ func indexingScan(a Access, key storage.Value, stats *QueryStats) ([]Match, erro
 }
 
 // fullScan reads every page — the baseline cost the Index Buffer avoids.
-func fullScan(a Access, key storage.Value, stats *QueryStats) ([]Match, error) {
+func fullScan(ctx context.Context, a Access, key storage.Value, stats *QueryStats) ([]Match, error) {
 	var out []Match
 	numPages := a.Table.NumPages()
 	for p := 0; p < numPages; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats.PagesRead++
 		err := a.Table.ScanPage(storage.PageID(p), func(rid storage.RID, tu storage.Tuple) error {
 			if tu.Value(a.Column).Equal(key) {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,7 +40,7 @@ func buildTable(t *testing.T, rows int) *heap.Table {
 
 func TestEqualNoIndexNoBuffer(t *testing.T) {
 	tb := buildTable(t, 200)
-	got, stats, err := Equal(Access{Table: tb, Column: 0}, iv(3))
+	got, stats, err := Equal(context.Background(), Access{Table: tb, Column: 0}, iv(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestEqualIndexOnlyNoBuffer(t *testing.T) {
 	a := Access{Table: tb, Column: 0, Index: ix}
 
 	// Covered key: index scan fetches only match pages.
-	got, stats, err := Equal(a, iv(2))
+	got, stats, err := Equal(context.Background(), a, iv(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestEqualIndexOnlyNoBuffer(t *testing.T) {
 	}
 
 	// Uncovered key: full scan.
-	_, stats, err = Equal(a, iv(7))
+	_, stats, err = Equal(context.Background(), a, iv(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,14 +136,14 @@ func TestIndexingScanSecondQuerySkips(t *testing.T) {
 	}
 	a := Access{Table: tb, Column: 0, Index: ix, Buffer: buf, Space: space}
 
-	_, s1, err := Equal(a, iv(8))
+	_, s1, err := Equal(context.Background(), a, iv(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1.PagesSelected != tb.NumPages() || s1.EntriesAdded == 0 {
 		t.Errorf("first scan: selected=%d entries=%d", s1.PagesSelected, s1.EntriesAdded)
 	}
-	got, s2, err := Equal(a, iv(9))
+	got, s2, err := Equal(context.Background(), a, iv(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestExplainEqual(t *testing.T) {
 	}
 
 	// After a real query, the plan predicts skips.
-	if _, _, err := Equal(a, iv(8)); err != nil {
+	if _, _, err := Equal(context.Background(), a, iv(8)); err != nil {
 		t.Fatal(err)
 	}
 	plan = ExplainEqual(a, iv(9))
@@ -205,7 +206,7 @@ func TestExplainEqual(t *testing.T) {
 		t.Errorf("skippable = %d of %d", plan.SkippablePages, tb.NumPages())
 	}
 	// Estimate matches the real cost.
-	_, stats, err := Equal(a, iv(9))
+	_, stats, err := Equal(context.Background(), a, iv(9))
 	if err != nil {
 		t.Fatal(err)
 	}

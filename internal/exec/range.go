@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/storage"
@@ -12,8 +13,9 @@ import (
 // indexing table scan (Algorithm 1 with a range predicate) or, without a
 // buffer, a full scan. The Index Buffer machinery — page selection,
 // skips, LRU-K — behaves identically to the equality path: a range miss
-// is just another scan that builds the buffer.
-func Range(a Access, lo, hi storage.Value) ([]Match, QueryStats, error) {
+// is just another scan that builds the buffer. ctx is honored between
+// page reads of the scanning paths.
+func Range(ctx context.Context, a Access, lo, hi storage.Value) ([]Match, QueryStats, error) {
 	start := time.Now()
 	stats := QueryStats{Key: lo}
 	if hi.Compare(lo) < 0 {
@@ -37,10 +39,10 @@ func Range(a Access, lo, hi storage.Value) ([]Match, QueryStats, error) {
 	case hit:
 		out, err = fetchRIDs(a, a.Index.LookupRange(lo, hi), &stats)
 	case a.Buffer != nil:
-		out, err = indexingScanRange(a, lo, hi, pred, &stats)
+		out, err = indexingScanRange(ctx, a, lo, hi, pred, &stats)
 	default:
 		stats.FullScan = true
-		out, err = fullScanPred(a, pred, &stats)
+		out, err = fullScanPred(ctx, a, pred, &stats)
 	}
 	if err != nil {
 		return nil, stats, err
@@ -59,7 +61,10 @@ func Range(a Access, lo, hi storage.Value) ([]Match, QueryStats, error) {
 // index will not be part of the result set" holds only for equality
 // misses; for ranges the index postings on skipped pages must be added
 // back.
-func indexingScanRange(a Access, lo, hi storage.Value, pred func(storage.Value) bool, stats *QueryStats) ([]Match, error) {
+func indexingScanRange(ctx context.Context, a Access, lo, hi storage.Value, pred func(storage.Value) bool, stats *QueryStats) ([]Match, error) {
+	release := a.Space.PinForScan(a.Buffer)
+	defer release()
+
 	numPages := a.Table.NumPages()
 	selected := a.Space.SelectPagesForBuffer(a.Buffer, numPages)
 	stats.PagesSelected = len(selected)
@@ -78,6 +83,9 @@ func indexingScanRange(a Access, lo, hi storage.Value, pred func(storage.Value) 
 	// Table scan, recording which pages were skipped.
 	skipped := make(map[storage.PageID]bool)
 	for p := 0; p < numPages; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pg := storage.PageID(p)
 		if a.Buffer.Counter(pg) == 0 {
 			stats.PagesSkipped++
@@ -127,10 +135,13 @@ func indexingScanRange(a Access, lo, hi storage.Value, pred func(storage.Value) 
 }
 
 // fullScanPred reads every page, filtering by pred.
-func fullScanPred(a Access, pred func(storage.Value) bool, stats *QueryStats) ([]Match, error) {
+func fullScanPred(ctx context.Context, a Access, pred func(storage.Value) bool, stats *QueryStats) ([]Match, error) {
 	var out []Match
 	numPages := a.Table.NumPages()
 	for p := 0; p < numPages; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats.PagesRead++
 		err := a.Table.ScanPage(storage.PageID(p), func(rid storage.RID, tu storage.Tuple) error {
 			if pred(tu.Value(a.Column)) {

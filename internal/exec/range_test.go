@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -63,7 +64,7 @@ func keysOf(t *testing.T, ms []Match) map[int64]bool {
 
 func TestRangeCoveredHit(t *testing.T) {
 	a := rangeFixture(t, 300, 99, nil)
-	got, stats, err := Range(a, iv(10), iv(20))
+	got, stats, err := Range(context.Background(), a, iv(10), iv(20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRangeStraddlingCoverageMisses(t *testing.T) {
 	a := rangeFixture(t, 300, 99, nil)
 	// [90, 110] straddles the coverage edge: must NOT be a hit even
 	// though part of it is covered.
-	got, stats, err := Range(a, iv(90), iv(110))
+	got, stats, err := Range(context.Background(), a, iv(90), iv(110))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,10 +103,10 @@ func TestRangeStraddlingCoverageMisses(t *testing.T) {
 
 func TestRangeSecondQuerySkips(t *testing.T) {
 	a := rangeFixture(t, 300, 99, nil)
-	if _, _, err := Range(a, iv(150), iv(160)); err != nil {
+	if _, _, err := Range(context.Background(), a, iv(150), iv(160)); err != nil {
 		t.Fatal(err)
 	}
-	got, stats, err := Range(a, iv(200), iv(230))
+	got, stats, err := Range(context.Background(), a, iv(200), iv(230))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,14 +123,14 @@ func TestRangeSecondQuerySkips(t *testing.T) {
 
 func TestRangeEmptyAndInverted(t *testing.T) {
 	a := rangeFixture(t, 100, 49, nil)
-	got, stats, err := Range(a, iv(20), iv(10)) // inverted
+	got, stats, err := Range(context.Background(), a, iv(20), iv(10)) // inverted
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != nil || stats.Matches != 0 {
 		t.Error("inverted range should be empty")
 	}
-	got, _, err = Range(a, iv(1000), iv(2000)) // beyond the data
+	got, _, err = Range(context.Background(), a, iv(1000), iv(2000)) // beyond the data
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestRangeNoIndexNoBuffer(t *testing.T) {
 	a.Index = nil
 	a.Buffer = nil
 	a.Space = nil
-	got, stats, err := Range(a, iv(50), iv(60))
+	got, stats, err := Range(context.Background(), a, iv(50), iv(60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,10 +167,10 @@ func TestRangeAllStructures(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			a := rangeFixture(t, 300, 99, f)
-			if _, _, err := Range(a, iv(120), iv(130)); err != nil { // build
+			if _, _, err := Range(context.Background(), a, iv(120), iv(130)); err != nil { // build
 				t.Fatal(err)
 			}
-			got, stats, err := Range(a, iv(140), iv(180))
+			got, stats, err := Range(context.Background(), a, iv(140), iv(180))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -203,7 +204,7 @@ func TestRangeRandomizedGroundTruth(t *testing.T) {
 				want[k] = true
 			}
 		}
-		got, _, err := Range(a, iv(lo), iv(hi))
+		got, _, err := Range(context.Background(), a, iv(lo), iv(hi))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/storage"
@@ -21,13 +22,21 @@ type Stats struct {
 // index contains exactly the (value, rid) pairs of live tuples whose
 // value satisfies the coverage predicate.
 //
-// Partial is not safe for concurrent use; the engine serializes access.
+// Concurrency: probes (Lookup, LookupRange, ScanRange, Contains, Covers,
+// Ascend) may run concurrently with each other — the probe counter is
+// atomic and the tree is not mutated by them. Mutations (Add, Remove,
+// Update, Rebuild) require exclusive access; the engine provides it via
+// the table lock.
 type Partial struct {
 	name   string
 	column int
 	cov    Coverage
 	tree   *btree.Tree
-	stats  Stats
+
+	adds    atomic.Uint64
+	removes atomic.Uint64
+	updates atomic.Uint64
+	probes  atomic.Uint64
 }
 
 // NewPartial creates an empty partial index named name over column
@@ -56,7 +65,14 @@ func (p *Partial) Covers(v storage.Value) bool { return p.cov.Covers(v) }
 func (p *Partial) EntryCount() int { return p.tree.EntryCount() }
 
 // Stats returns a snapshot of the maintenance counters.
-func (p *Partial) Stats() Stats { return p.stats }
+func (p *Partial) Stats() Stats {
+	return Stats{
+		Adds:    p.adds.Load(),
+		Removes: p.removes.Load(),
+		Updates: p.updates.Load(),
+		Probes:  p.probes.Load(),
+	}
+}
 
 // Lookup returns the RIDs of tuples with the given value. Callers must
 // only ask for covered values; probing for an uncovered value is a logic
@@ -65,7 +81,7 @@ func (p *Partial) Lookup(v storage.Value) []storage.RID {
 	if !p.cov.Covers(v) {
 		panic(fmt.Sprintf("index %s: lookup of uncovered value %v", p.name, v))
 	}
-	p.stats.Probes++
+	p.probes.Add(1)
 	return p.tree.Lookup(v)
 }
 
@@ -83,7 +99,7 @@ func (p *Partial) LookupRange(lo, hi storage.Value) []storage.RID {
 	if !p.CoversRange(lo, hi) {
 		panic(fmt.Sprintf("index %s: range lookup of uncovered range [%v, %v]", p.name, lo, hi))
 	}
-	p.stats.Probes++
+	p.probes.Add(1)
 	var out []storage.RID
 	p.tree.AscendRange(lo, hi, func(_ storage.Value, post []storage.RID) bool {
 		out = append(out, post...)
@@ -98,7 +114,7 @@ func (p *Partial) LookupRange(lo, hi storage.Value) []storage.RID {
 // recover covered matches sitting on pages the Index Buffer lets them
 // skip.
 func (p *Partial) ScanRange(lo, hi storage.Value) []storage.RID {
-	p.stats.Probes++
+	p.probes.Add(1)
 	var out []storage.RID
 	p.tree.AscendRange(lo, hi, func(_ storage.Value, post []storage.RID) bool {
 		out = append(out, post...)
@@ -125,7 +141,7 @@ func (p *Partial) Add(v storage.Value, rid storage.RID) bool {
 		return false
 	}
 	if p.tree.Insert(v, rid) {
-		p.stats.Adds++
+		p.adds.Add(1)
 		return true
 	}
 	return false
@@ -134,7 +150,7 @@ func (p *Partial) Add(v storage.Value, rid storage.RID) bool {
 // Remove deletes (v, rid); it reports whether an entry was removed.
 func (p *Partial) Remove(v storage.Value, rid storage.RID) bool {
 	if p.tree.Delete(v, rid) {
-		p.stats.Removes++
+		p.removes.Add(1)
 		return true
 	}
 	return false
@@ -157,14 +173,14 @@ func (p *Partial) Update(old, new storage.Value, oldRID, newRID storage.RID) {
 		}
 		p.tree.Delete(old, oldRID)
 		p.tree.Insert(new, newRID)
-		p.stats.Updates++
+		p.updates.Add(1)
 	case oldIn && !newIn:
 		if p.tree.Delete(old, oldRID) {
-			p.stats.Removes++
+			p.removes.Add(1)
 		}
 	case !oldIn && newIn:
 		if p.tree.Insert(new, newRID) {
-			p.stats.Adds++
+			p.adds.Add(1)
 		}
 	}
 }
@@ -201,7 +217,7 @@ func (p *Partial) Rebuild(cov Coverage, table TupleSource) (int, error) {
 		return 0, fmt.Errorf("index %s: rebuild: %w", p.name, err)
 	}
 	fresh := btree.Bulk(btree.DefaultOrder, entries)
-	p.stats.Adds += uint64(fresh.EntryCount())
+	p.adds.Add(uint64(fresh.EntryCount()))
 	p.cov = cov
 	p.tree = fresh
 	return fresh.EntryCount(), nil
