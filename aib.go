@@ -25,8 +25,11 @@
 //
 // A DB is safe for concurrent use: index-covered reads run in parallel
 // across goroutines, while DML and buffer-building scans serialize per
-// table (see DESIGN.md, "Concurrency model"). Long scans can be
-// abandoned via the context-aware variants QueryCtx and QueryRangeCtx.
+// table (see DESIGN.md, "Concurrency model"). Concurrent misses on the
+// same table and column are coalesced into one shared indexing scan
+// rather than queuing for their own (SharedScanStats reports how often);
+// long scans can be abandoned via the context-aware variants QueryCtx
+// and QueryRangeCtx.
 //
 // See the examples/ directory for runnable programs and cmd/aibench for
 // the paper's full experiment suite.
@@ -36,11 +39,13 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/storage"
 )
 
@@ -71,6 +76,11 @@ type Options struct {
 	// the directory instead of the in-memory simulated disk. Call Close
 	// to flush and release them.
 	DataDir string
+	// ReadLatency and WriteLatency, when positive, charge each simulated
+	// disk access with a sleep so wall-clock behavior (and contention)
+	// takes a real device's shape. Ignored for DataDir-backed tables.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
 }
 
 // Structure enumerates the index structures an Index Buffer can use —
@@ -163,8 +173,10 @@ func (o Options) validate() error {
 // engineConfig maps public options to the engine configuration.
 func engineConfig(o Options) engine.Config {
 	cfg := engine.Config{
-		PoolPages: o.PoolPages,
-		DataDir:   o.DataDir,
+		PoolPages:    o.PoolPages,
+		DataDir:      o.DataDir,
+		ReadLatency:  o.ReadLatency,
+		WriteLatency: o.WriteLatency,
 		Space: core.Config{
 			IMax:         o.IMax,
 			P:            o.PartitionPages,
@@ -536,6 +548,15 @@ func (db *DB) BufferStats() []BufferStats {
 
 // SpaceUsed returns total entries across all Index Buffers.
 func (db *DB) SpaceUsed() int { return db.eng.Space().Used() }
+
+// SharedScanStats reports the scan-sharing counters: how many queries
+// missed into the indexing-scan path, how many Algorithm-1 passes
+// actually ran, and how many scans coalescing saved; see
+// metrics.SharedScanStats.
+type SharedScanStats = metrics.SharedScanStats
+
+// SharedScanStats reads the database-wide scan-sharing counters.
+func (db *DB) SharedScanStats() SharedScanStats { return db.eng.SharedScanStats() }
 
 // TraceReport renders per-column query statistics — queries, hit rate,
 // mean pages per query, and the share of pages the Index Buffer let

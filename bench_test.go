@@ -6,9 +6,12 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -530,6 +533,76 @@ func BenchmarkAblationVictimPolicy(b *testing.B) {
 					total += stats.PagesRead
 				}
 				b.ReportMetric(float64(total)/queries, "pages/query")
+			}
+		})
+	}
+}
+
+// BenchmarkSharedScan measures contended-miss throughput: every query
+// misses the partial index and needs an indexing scan, the workload that
+// serialized completely before scan sharing. goroutines=1 is the
+// serialized baseline; at higher counts concurrent misses coalesce into
+// shared Algorithm-1 passes, reported as scans_saved_%. The tight
+// SpaceLimit keeps the buffer from covering the table (misses stay
+// expensive) and the small pool plus simulated read latency keeps scans
+// device-bound, as in the paper's table >> memory setup.
+func BenchmarkSharedScan(b *testing.B) {
+	const (
+		rows      = 3000
+		keyDomain = 1000
+		covered   = 50
+	)
+	for _, g := range []int{1, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			db := MustOpen(Options{
+				Seed:           9,
+				SpaceLimit:     64,
+				IMax:           64,
+				PartitionPages: 8,
+				PoolPages:      32,
+				ReadLatency:    20 * time.Microsecond,
+			})
+			defer db.Close()
+			tb, err := db.CreateTable("data", Int64Column("k"), StringColumn("pad"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pad := strings.Repeat("s", 220)
+			for i := 0; i < rows; i++ {
+				if _, err := tb.Insert(int64(i%keyDomain), pad); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tb.CreatePartialRangeIndex("k", 0, covered-1); err != nil {
+				b.Fatal(err)
+			}
+
+			before := db.SharedScanStats()
+			per := b.N / g
+			if per == 0 {
+				per = 1
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						key := int64(covered + (w*per+i)%(keyDomain-covered))
+						if _, _, err := tb.Query("k", key); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			s := db.SharedScanStats()
+			if misses := s.Misses - before.Misses; misses > 0 {
+				scans := s.Scans - before.Scans
+				b.ReportMetric(float64(misses-scans)*100/float64(misses), "scans_saved_%")
 			}
 		})
 	}

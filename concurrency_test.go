@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -298,6 +299,91 @@ func TestQueryCtxCancel(t *testing.T) {
 	}
 	if _, _, err := tb2.QueryCtx(ctx, "k", int64(1)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("full-scan QueryCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSharedScanBurst fires a burst of uncovered-key queries — the
+// workload the Adaptive Index Buffer exists to accelerate, and the one
+// that serialized hardest before scan sharing — from 8 goroutines on one
+// table, and asserts both correctness (every query gets exactly its
+// rows) and coalescing (the metrics counters prove fewer indexing scans
+// ran than miss queries arrived). The small SpaceLimit keeps the buffer
+// from ever covering the table, so every query stays a genuine miss; the
+// simulated read latency keeps scans long enough that concurrent misses
+// reliably overlap. Run with -race.
+func TestSharedScanBurst(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 5
+		rowsPerKey = 3
+	)
+	// PoolPages is far below the table size so every scan stays
+	// device-bound: ReadLatency then gives each pass a real duration for
+	// concurrent misses to pile up against.
+	db := MustOpen(Options{
+		Seed:           5,
+		SpaceLimit:     40,
+		IMax:           40,
+		PartitionPages: 8,
+		PoolPages:      16,
+		ReadLatency:    200 * time.Microsecond,
+	})
+	defer db.Close()
+	tb, err := db.CreateTable("t", Int64Column("k"), StringColumn("pad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200*rowsPerKey; i++ {
+		if _, err := tb.Insert(int64(i%200), fmt.Sprintf("pad-%04d-%0700d", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.CreatePartialRangeIndex("k", 0, 19); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < perG; r++ {
+				key := int64(20 + g*perG + r) // distinct uncovered keys
+				rows, _, err := tb.Query("k", key)
+				if err != nil {
+					errCh <- fmt.Errorf("Query(k=%d): %w", key, err)
+					return
+				}
+				if len(rows) != rowsPerKey {
+					errCh <- fmt.Errorf("Query(k=%d): %d rows, want %d", key, len(rows), rowsPerKey)
+					return
+				}
+				for _, row := range rows {
+					if got, _ := row.Int64("k"); got != key {
+						errCh <- fmt.Errorf("Query(k=%d) returned row with k=%d", key, got)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	s := db.SharedScanStats()
+	if s.Misses != goroutines*perG {
+		t.Fatalf("Misses = %d, want %d (every query an uncovered miss)", s.Misses, goroutines*perG)
+	}
+	if s.Scans >= s.Misses {
+		t.Errorf("Scans = %d for %d misses: no coalescing happened", s.Scans, s.Misses)
+	}
+	if s.Saved == 0 || s.Attached == 0 {
+		t.Errorf("stats = %+v: expected attached queries and saved scans", s)
 	}
 }
 

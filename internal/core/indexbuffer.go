@@ -262,6 +262,39 @@ func (b *IndexBuffer) AddEntry(p storage.PageID, key storage.Value, rid storage.
 	return nil
 }
 
+// PageEntry records one entry inserted for a page during an indexing
+// scan — the undo log AbortPage needs to roll the page back.
+type PageEntry struct {
+	Key storage.Value
+	RID storage.RID
+}
+
+// AbortPage rolls back a BeginPage assignment after a mid-page failure:
+// the entries inserted so far are removed (refunding the Space budget),
+// the page leaves its partition, and C[p] reverts to the uncovered
+// count. Without this a page interrupted between BeginPage and the end
+// of its scan would read C[p] == 0 while only part of its uncovered
+// tuples are buffered, and every later scan would silently skip the
+// rest. A partition left with no pages is dropped entirely.
+func (b *IndexBuffer) AbortPage(p storage.PageID, added []PageEntry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	part, ok := b.byPage[p]
+	if !ok {
+		return
+	}
+	for _, e := range added {
+		if part.structure.Delete(e.Key, e.RID) {
+			b.space.addUsed(-1)
+		}
+	}
+	delete(part.pages, p)
+	delete(b.byPage, p)
+	if len(part.pages) == 0 {
+		b.dropPartitionLocked(part)
+	}
+}
+
 // dropPartition removes part from the buffer: its pages lose their
 // fully-indexed status (C[p] reverts to the uncovered count) and its
 // entries leave the Space budget. Callers must hold b.mu.

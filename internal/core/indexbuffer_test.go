@@ -216,3 +216,63 @@ func TestDropBuffer(t *testing.T) {
 	}
 	s.DropBuffer("missing") // no-op
 }
+
+func TestAbortPageRollsBackAssignment(t *testing.T) {
+	s, b := newBuf(t, Config{P: 10}, []int{2, 3})
+
+	// Page 0 fully buffered, page 1 interrupted after two entries.
+	if err := b.BeginPage(0); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.AddEntry(0, iv(1), rid(0, 0))
+	_ = b.AddEntry(0, iv(2), rid(0, 1))
+	if err := b.BeginPage(1); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.AddEntry(1, iv(3), rid(1, 0))
+	_ = b.AddEntry(1, iv(4), rid(1, 1))
+
+	b.AbortPage(1, []PageEntry{{Key: iv(3), RID: rid(1, 0)}, {Key: iv(4), RID: rid(1, 1)}})
+
+	// The aborted page reverts; the completed page is untouched.
+	if b.Counter(1) != 3 {
+		t.Errorf("C[1] = %d, want 3 (uncovered count restored)", b.Counter(1))
+	}
+	if b.Counter(0) != 0 {
+		t.Errorf("C[0] = %d, want 0", b.Counter(0))
+	}
+	if b.PageBuffered(1) {
+		t.Error("aborted page still buffered")
+	}
+	if got := b.Lookup(iv(3)); len(got) != 0 {
+		t.Errorf("aborted entries still visible: %v", got)
+	}
+	if got := b.Lookup(iv(1)); len(got) != 1 {
+		t.Errorf("surviving entries lost: %v", got)
+	}
+	// The Space budget refunds exactly the aborted entries.
+	if s.Used() != b.EntryCount() || s.Used() != 2 {
+		t.Errorf("Used = %d, EntryCount = %d, want 2", s.Used(), b.EntryCount())
+	}
+	// Both pages shared one partition, so it survives with one page.
+	if b.PartitionCount() != 1 {
+		t.Errorf("partitions = %d, want 1", b.PartitionCount())
+	}
+
+	// Aborting the only page of a partition drops the partition.
+	s2, b2 := newBuf(t, Config{P: 10}, []int{1})
+	if err := b2.BeginPage(0); err != nil {
+		t.Fatal(err)
+	}
+	_ = b2.AddEntry(0, iv(9), rid(0, 0))
+	b2.AbortPage(0, []PageEntry{{Key: iv(9), RID: rid(0, 0)}})
+	if b2.PartitionCount() != 0 || s2.Used() != 0 || b2.Counter(0) != 1 {
+		t.Errorf("empty-partition abort: parts=%d used=%d C[0]=%d", b2.PartitionCount(), s2.Used(), b2.Counter(0))
+	}
+
+	// AbortPage on a page never begun is a no-op.
+	b2.AbortPage(0, nil)
+	if b2.Counter(0) != 1 {
+		t.Errorf("no-op abort changed C[0] to %d", b2.Counter(0))
+	}
+}

@@ -13,7 +13,10 @@
 // on different tables, and on different columns of the same table, run
 // fully in parallel. Indexing scans (which mutate C[p] counters and
 // insert buffer entries, paper Algorithms 1/2) and all DML take the
-// table lock exclusive. Lock order: Engine.mu → Table.mu → Space.mu →
+// table lock exclusive — but concurrent misses on the same table and
+// column do not each run their own scan: a per-table admission layer
+// coalesces them into one shared Algorithm-1 pass (see sharedscan.go).
+// Lock order: Engine.mu → Table.mu → scanAdmission.mu → Space.mu →
 // IndexBuffer.mu → History.mu.
 package engine
 
@@ -31,6 +34,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/heap"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -74,6 +78,15 @@ type Engine struct {
 	space  *core.Space
 	tables map[string]*Table
 	tracer *trace.Tracer
+
+	sharedScans metrics.SharedScanCounters
+}
+
+// SharedScanStats reads the engine-wide scan-sharing counters: how many
+// miss queries entered the admission layer, how many Algorithm-1 passes
+// actually ran, and how many queries rode along on another's scan.
+func (e *Engine) SharedScanStats() metrics.SharedScanStats {
+	return e.sharedScans.Snapshot()
 }
 
 // traceCapacity is the query-event ring size of the built-in tracer.
@@ -159,6 +172,8 @@ type Table struct {
 	heap    *heap.Table
 	indexes map[int]*index.Partial    // by column ordinal
 	buffers map[int]*core.IndexBuffer // by column ordinal
+
+	scans scanAdmission // per-column batching of concurrent miss queries
 }
 
 // CreateTable registers a new empty table.
@@ -489,9 +504,11 @@ func (t *Table) QueryEqual(column int, key storage.Value) ([]exec.Match, exec.Qu
 // partial-index hit or a plain full scan executes right there — multiple
 // such readers run in parallel, and no engine-wide exclusive lock is
 // taken. Only a buffer miss that needs an indexing scan (a mutation of
-// the Index Buffer) re-enters under the exclusive lock; the plan is
-// implicitly re-validated because exec.Equal re-dispatches on the state
-// it finds there.
+// the Index Buffer) goes through the scan-sharing admission layer, where
+// it either leads its own exclusive-lock scan or attaches to one already
+// forming on the same column (see queryShared); the plan is implicitly
+// re-validated because exec.ExecuteShared re-dispatches on the state it
+// finds under the write lock.
 func (t *Table) QueryEqualCtx(ctx context.Context, column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
 	if err := t.engine.checkOpen(); err != nil {
 		return nil, exec.QueryStats{}, err
@@ -509,16 +526,7 @@ func (t *Table) QueryEqualCtx(ctx context.Context, column int, key storage.Value
 	}
 	t.mu.RUnlock()
 
-	// Indexing scan: the buffer is about to be mutated — exclusive. The
-	// access path is re-resolved under the write lock since an index
-	// redefinition may have slipped in between the two acquisitions.
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	a, err = t.accessLocked(column)
-	if err != nil {
-		return nil, exec.QueryStats{}, err
-	}
-	return t.runEqual(ctx, a, column, key)
+	return t.queryShared(ctx, column, key, key, true)
 }
 
 func (t *Table) runEqual(ctx context.Context, a exec.Access, column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
@@ -555,13 +563,7 @@ func (t *Table) QueryRangeCtx(ctx context.Context, column int, lo, hi storage.Va
 	}
 	t.mu.RUnlock()
 
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	a, err = t.accessLocked(column)
-	if err != nil {
-		return nil, exec.QueryStats{}, err
-	}
-	return t.runRange(ctx, a, column, lo, hi)
+	return t.queryShared(ctx, column, lo, hi, false)
 }
 
 func (t *Table) runRange(ctx context.Context, a exec.Access, column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {

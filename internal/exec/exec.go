@@ -4,6 +4,11 @@
 // consults the Index Buffer, skips fully indexed pages (counter C[p] ==
 // 0), and opportunistically indexes the pages selected by Algorithm 2.
 //
+// Every query runs through ExecuteShared, which executes Algorithm 1
+// once for a whole batch of predicates: Equal and Range are batches of
+// size one, and the engine's admission layer coalesces concurrent
+// buffer misses on the same table/column into larger batches.
+//
 // Execution is context-aware: the page-at-a-time loops of the indexing
 // scan and the full scan check for cancellation between page reads, so a
 // long scan over a cold table can be abandoned mid-flight. The caller
@@ -31,7 +36,11 @@ type Match struct {
 // QueryStats describes the cost and effect of one query. PagesRead is the
 // engine's logical I/O — the quantity the paper's runtime curves are
 // shaped by; pages served from the buffer pool still count, since the
-// paper's 220 MB table does not fit its buffer either.
+// paper's 220 MB table does not fit its buffer either. Each distinct page
+// counts once per query, regardless of how many execution stages touch
+// it. When several queries share one scan, the scan-wide maintenance
+// counters (PagesSelected, EntriesAdded) appear on the batch's first
+// scanning query only.
 type QueryStats struct {
 	Key        storage.Value
 	PartialHit bool // answered by the partial index
@@ -48,11 +57,22 @@ type QueryStats struct {
 	Duration time.Duration
 }
 
+// Heap is the table access the executor needs: page-at-a-time scans and
+// RID materialization. *heap.Table implements it; tests substitute
+// fault-injecting wrappers.
+type Heap interface {
+	NumPages() int
+	Get(rid storage.RID) (storage.Tuple, error)
+	ScanPage(p storage.PageID, fn func(rid storage.RID, tu storage.Tuple) error) error
+}
+
+var _ Heap = (*heap.Table)(nil)
+
 // Access bundles the storage objects a point query needs. Index and
 // Buffer may be nil (no partial index / no Index Buffer on the column);
 // Space must be non-nil whenever Buffer is.
 type Access struct {
-	Table  *heap.Table
+	Table  Heap
 	Column int
 	Index  *index.Partial
 	Buffer *core.IndexBuffer
@@ -75,42 +95,19 @@ func (a Access) NeedsIndexingScanRange(lo, hi storage.Value) bool {
 }
 
 // Equal answers the equality query column = key, maintaining the Index
-// Buffer along the way. It is the top-level dispatch: partial-index hit →
-// index scan; miss with a buffer → Algorithm 1; miss without → full scan.
-// ctx is honored between page reads of the scanning paths.
+// Buffer along the way: partial-index hit → index scan; miss with a
+// buffer → Algorithm 1; miss without → full scan. It is a shared scan
+// with a single attached query; ctx is honored between page reads of the
+// scanning paths.
 func Equal(ctx context.Context, a Access, key storage.Value) ([]Match, QueryStats, error) {
-	start := time.Now()
-	stats := QueryStats{Key: key}
-
-	hit := a.Index != nil && a.Index.Covers(key)
-	stats.PartialHit = hit
-	if a.Space != nil {
-		// Table II: advance every buffer's LRU-K history for this query.
-		a.Space.OnQuery(a.Buffer, hit)
-	}
-
-	var out []Match
-	var err error
-	switch {
-	case hit:
-		out, err = fetchRIDs(a, a.Index.Lookup(key), &stats)
-	case a.Buffer != nil:
-		out, err = indexingScan(ctx, a, key, &stats)
-	default:
-		stats.FullScan = true
-		out, err = fullScan(ctx, a, key, &stats)
-	}
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.Matches = len(out)
-	stats.Duration = time.Since(start)
-	return out, stats, nil
+	o := ExecuteShared(a, []SharedQuery{{Lo: key, Hi: key, Equality: true, Ctx: ctx}})[0]
+	return o.Matches, o.Stats, o.Err
 }
 
-// fetchRIDs materializes tuples for a posting list, page by page so each
-// page is read once.
-func fetchRIDs(a Access, rids []storage.RID, stats *QueryStats) ([]Match, error) {
+// fetchRIDs materializes tuples for a posting list, page by page. Pages
+// are charged to stats through seen, so a page the query already fetched
+// in another stage is not double-counted.
+func fetchRIDs(a Access, rids []storage.RID, stats *QueryStats, seen pageSet) ([]Match, error) {
 	if len(rids) == 0 {
 		return nil, nil
 	}
@@ -118,101 +115,13 @@ func fetchRIDs(a Access, rids []storage.RID, stats *QueryStats) ([]Match, error)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
 
 	var out []Match
-	var lastPage storage.PageID
-	for i, rid := range sorted {
-		if i == 0 || rid.Page != lastPage {
-			stats.PagesRead++
-			lastPage = rid.Page
-		}
+	for _, rid := range sorted {
+		seen.read(stats, rid.Page)
 		tu, err := a.Table.Get(rid)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, Match{RID: rid, Tuple: tu})
-	}
-	return out, nil
-}
-
-// indexingScan is the paper's Algorithm 1. The page set I to index comes
-// from Algorithm 2 (Space.SelectPagesForBuffer), which also performs any
-// displacement needed to make room. The buffer is pinned for the scan's
-// duration so a concurrent scan on another table cannot displace the
-// partitions this scan's skip decisions depend on.
-func indexingScan(ctx context.Context, a Access, key storage.Value, stats *QueryStats) ([]Match, error) {
-	release := a.Space.PinForScan(a.Buffer)
-	defer release()
-
-	numPages := a.Table.NumPages()
-	selected := a.Space.SelectPagesForBuffer(a.Buffer, numPages) // I ← SelectPagesForBuffer()
-	stats.PagesSelected = len(selected)
-	inI := make(map[storage.PageID]bool, len(selected))
-	for _, p := range selected {
-		inI[p] = true
-	}
-
-	// Index Buffer scan (lines 8–10): matches on fully indexed pages.
-	bufferRIDs := a.Buffer.Lookup(key)
-	out, err := fetchRIDs(a, bufferRIDs, stats)
-	if err != nil {
-		return nil, err
-	}
-	stats.BufferMatches = len(out)
-
-	// Table scan (lines 11–17): skip pages with C[p] == 0.
-	for p := 0; p < numPages; p++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		pg := storage.PageID(p)
-		if a.Buffer.Counter(pg) == 0 {
-			stats.PagesSkipped++
-			continue
-		}
-		indexThis := inI[pg]
-		if indexThis {
-			if err := a.Buffer.BeginPage(pg); err != nil {
-				return nil, err
-			}
-		}
-		stats.PagesRead++
-		err := a.Table.ScanPage(pg, func(rid storage.RID, tu storage.Tuple) error {
-			v := tu.Value(a.Column)
-			if v.Equal(key) {
-				out = append(out, Match{RID: rid, Tuple: tu})
-			}
-			if indexThis && (a.Index == nil || !a.Index.Covers(v)) {
-				if err := a.Buffer.AddEntry(pg, v, rid); err != nil {
-					return err
-				}
-				stats.EntriesAdded++
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-// fullScan reads every page — the baseline cost the Index Buffer avoids.
-func fullScan(ctx context.Context, a Access, key storage.Value, stats *QueryStats) ([]Match, error) {
-	var out []Match
-	numPages := a.Table.NumPages()
-	for p := 0; p < numPages; p++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		stats.PagesRead++
-		err := a.Table.ScanPage(storage.PageID(p), func(rid storage.RID, tu storage.Tuple) error {
-			if tu.Value(a.Column).Equal(key) {
-				out = append(out, Match{RID: rid, Tuple: tu})
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
 	}
 	return out, nil
 }

@@ -102,7 +102,7 @@ func TestFetchRIDsCountsDistinctPages(t *testing.T) {
 		return nil
 	})
 	var stats QueryStats
-	got, err := fetchRIDs(Access{Table: tb, Column: 0}, rids, &stats)
+	got, err := fetchRIDs(Access{Table: tb, Column: 0}, rids, &stats, pageSet{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestFetchRIDsCountsDistinctPages(t *testing.T) {
 	}
 	// Empty posting: zero cost.
 	var empty QueryStats
-	if out, err := fetchRIDs(Access{Table: tb}, nil, &empty); err != nil || out != nil || empty.PagesRead != 0 {
+	if out, err := fetchRIDs(Access{Table: tb}, nil, &empty, pageSet{}); err != nil || out != nil || empty.PagesRead != 0 {
 		t.Error("empty fetch should be free")
 	}
 }

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"context"
-	"time"
 
 	"repro/internal/storage"
 )
@@ -13,145 +12,20 @@ import (
 // indexing table scan (Algorithm 1 with a range predicate) or, without a
 // buffer, a full scan. The Index Buffer machinery — page selection,
 // skips, LRU-K — behaves identically to the equality path: a range miss
-// is just another scan that builds the buffer. ctx is honored between
-// page reads of the scanning paths.
+// is just another scan that builds the buffer.
+//
+// Unlike the equality path, two extra sources feed a range result beyond
+// the page scan: the Index Buffer (uncovered tuples of fully indexed
+// pages) and the partial index itself, because a range straddling the
+// coverage predicate has covered matches sitting unreachable on skipped
+// pages. The paper's §II observation "tuples referenced in the index
+// will not be part of the result set" holds only for equality misses;
+// for ranges the index postings on skipped pages must be added back —
+// ExecuteShared's skipped-page recovery stage does exactly that.
+//
+// Range is a shared scan with a single attached query; ctx is honored
+// between page reads of the scanning paths.
 func Range(ctx context.Context, a Access, lo, hi storage.Value) ([]Match, QueryStats, error) {
-	start := time.Now()
-	stats := QueryStats{Key: lo}
-	if hi.Compare(lo) < 0 {
-		stats.Duration = time.Since(start)
-		return nil, stats, nil
-	}
-
-	hit := a.Index != nil && a.Index.CoversRange(lo, hi)
-	stats.PartialHit = hit
-	if a.Space != nil {
-		a.Space.OnQuery(a.Buffer, hit)
-	}
-
-	pred := func(v storage.Value) bool {
-		return v.Compare(lo) >= 0 && v.Compare(hi) <= 0
-	}
-
-	var out []Match
-	var err error
-	switch {
-	case hit:
-		out, err = fetchRIDs(a, a.Index.LookupRange(lo, hi), &stats)
-	case a.Buffer != nil:
-		out, err = indexingScanRange(ctx, a, lo, hi, pred, &stats)
-	default:
-		stats.FullScan = true
-		out, err = fullScanPred(ctx, a, pred, &stats)
-	}
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.Matches = len(out)
-	stats.Duration = time.Since(start)
-	return out, stats, nil
-}
-
-// indexingScanRange is Algorithm 1 generalized to a range predicate.
-// Two sources feed the result beyond the page scan itself: the Index
-// Buffer (uncovered tuples of fully indexed pages) and — unlike the
-// equality path — the partial index, because a range straddling the
-// coverage predicate has covered matches, and those sit unreachable on
-// skipped pages. The paper's §II observation "tuples referenced in the
-// index will not be part of the result set" holds only for equality
-// misses; for ranges the index postings on skipped pages must be added
-// back.
-func indexingScanRange(ctx context.Context, a Access, lo, hi storage.Value, pred func(storage.Value) bool, stats *QueryStats) ([]Match, error) {
-	release := a.Space.PinForScan(a.Buffer)
-	defer release()
-
-	numPages := a.Table.NumPages()
-	selected := a.Space.SelectPagesForBuffer(a.Buffer, numPages)
-	stats.PagesSelected = len(selected)
-	inI := make(map[storage.PageID]bool, len(selected))
-	for _, p := range selected {
-		inI[p] = true
-	}
-
-	// Index Buffer scan.
-	out, err := fetchRIDs(a, a.Buffer.LookupRange(lo, hi), stats)
-	if err != nil {
-		return nil, err
-	}
-	stats.BufferMatches = len(out)
-
-	// Table scan, recording which pages were skipped.
-	skipped := make(map[storage.PageID]bool)
-	for p := 0; p < numPages; p++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		pg := storage.PageID(p)
-		if a.Buffer.Counter(pg) == 0 {
-			stats.PagesSkipped++
-			skipped[pg] = true
-			continue
-		}
-		indexThis := inI[pg]
-		if indexThis {
-			if err := a.Buffer.BeginPage(pg); err != nil {
-				return nil, err
-			}
-		}
-		stats.PagesRead++
-		err := a.Table.ScanPage(pg, func(rid storage.RID, tu storage.Tuple) error {
-			v := tu.Value(a.Column)
-			if pred(v) {
-				out = append(out, Match{RID: rid, Tuple: tu})
-			}
-			if indexThis && (a.Index == nil || !a.Index.Covers(v)) {
-				if err := a.Buffer.AddEntry(pg, v, rid); err != nil {
-					return err
-				}
-				stats.EntriesAdded++
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Recover covered matches on skipped pages from the partial index.
-	if a.Index != nil && len(skipped) > 0 {
-		var missing []storage.RID
-		for _, rid := range a.Index.ScanRange(lo, hi) {
-			if skipped[rid.Page] {
-				missing = append(missing, rid)
-			}
-		}
-		ixMatches, err := fetchRIDs(a, missing, stats)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ixMatches...)
-	}
-	return out, nil
-}
-
-// fullScanPred reads every page, filtering by pred.
-func fullScanPred(ctx context.Context, a Access, pred func(storage.Value) bool, stats *QueryStats) ([]Match, error) {
-	var out []Match
-	numPages := a.Table.NumPages()
-	for p := 0; p < numPages; p++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		stats.PagesRead++
-		err := a.Table.ScanPage(storage.PageID(p), func(rid storage.RID, tu storage.Tuple) error {
-			if pred(tu.Value(a.Column)) {
-				out = append(out, Match{RID: rid, Tuple: tu})
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	o := ExecuteShared(a, []SharedQuery{{Lo: lo, Hi: hi, Ctx: ctx}})[0]
+	return o.Matches, o.Stats, o.Err
 }

@@ -1,0 +1,363 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// This file implements scan sharing: one pass of the paper's Algorithm 1
+// answering a whole batch of queries on the same table and column.
+//
+// A burst of partial-index misses — exactly the workload the Index
+// Buffer exists to accelerate — would otherwise run one exclusive
+// indexing scan per query. Cooperative scans are the standard cure
+// (Graefe et al., "Concurrency Control for Adaptive Indexing", make the
+// same move for database cracking): the batch scans the heap once,
+// demultiplexes matching tuples to every attached query, and performs
+// the buffer maintenance (page selection, BeginPage/AddEntry) exactly
+// once. The engine's admission layer decides which queries form a batch;
+// this file only executes one.
+
+// SharedQuery is one predicate attached to a shared scan: the equality
+// query column = Lo when Equality is set, else the range
+// Lo <= column <= Hi. Ctx (nil means context.Background) cancels only
+// this query: the scan drops the query's demux slot at the next page
+// boundary and keeps serving the other attachees; the pass itself aborts
+// early only once every attached query has been canceled.
+type SharedQuery struct {
+	Lo, Hi   storage.Value
+	Equality bool
+	Ctx      context.Context
+}
+
+// matches reports whether a tuple value satisfies the query's predicate.
+func (q *SharedQuery) matches(v storage.Value) bool {
+	if q.Equality {
+		return v.Equal(q.Lo)
+	}
+	return v.Compare(q.Lo) >= 0 && v.Compare(q.Hi) <= 0
+}
+
+// SharedOutcome is one attached query's result: its matches, its own
+// QueryStats, and its error (which may be the query's ctx error while
+// the rest of the batch succeeded).
+type SharedOutcome struct {
+	Matches []Match
+	Stats   QueryStats
+	Err     error
+}
+
+// scanState is the per-query demux bookkeeping of one shared pass.
+type scanState struct {
+	ctx    context.Context
+	seen   pageSet
+	active bool // attached to the table scan; false once canceled/failed
+}
+
+// pageSet tracks the distinct heap pages one query has fetched, so that
+// PagesRead counts each page once per query no matter how many execution
+// stages (buffer materialization, table scan, skipped-page index
+// recovery) touch it — a page fetched twice must not inflate the logical
+// I/O the paper's runtime curves are shaped by.
+type pageSet map[storage.PageID]bool
+
+// read charges page p to stats unless the query already read it.
+func (s pageSet) read(stats *QueryStats, p storage.PageID) {
+	if !s[p] {
+		s[p] = true
+		stats.PagesRead++
+	}
+}
+
+// ExecuteShared answers a batch of queries on the same table and column
+// with at most one Algorithm-1 pass. Per query it re-dispatches on the
+// state it finds — a predicate the partial index now covers is served
+// from the index, an empty range is answered for free — so callers may
+// attach queries planned before an index redefinition. Buffer
+// maintenance runs exactly once for the batch; the scan-wide maintenance
+// counters (PagesSelected, EntriesAdded) are attributed to the batch's
+// first scanning query so that sums over per-query stats equal the work
+// actually performed. Every outcome carries a Duration, error or not.
+//
+// The caller must hold the owning table's write lock whenever the batch
+// can mutate the Index Buffer — the same contract as a private indexing
+// scan. A batch of size one is exactly the old single-query execution;
+// Equal and Range are wrappers over it.
+func ExecuteShared(a Access, qs []SharedQuery) []SharedOutcome {
+	start := time.Now()
+	outs := make([]SharedOutcome, len(qs))
+	defer func() {
+		elapsed := time.Since(start)
+		for i := range outs {
+			outs[i].Stats.Duration = elapsed
+		}
+	}()
+
+	states := make([]scanState, len(qs))
+	var scanQ []int // indices of the queries that need the table scan
+	for i := range qs {
+		q := &qs[i]
+		st := &states[i]
+		st.ctx = q.Ctx
+		if st.ctx == nil {
+			st.ctx = context.Background()
+		}
+		st.seen = pageSet{}
+		outs[i].Stats.Key = q.Lo
+		if !q.Equality && q.Hi.Compare(q.Lo) < 0 {
+			continue // empty range: answered without any access
+		}
+		hit := false
+		if a.Index != nil {
+			if q.Equality {
+				hit = a.Index.Covers(q.Lo)
+			} else {
+				hit = a.Index.CoversRange(q.Lo, q.Hi)
+			}
+		}
+		outs[i].Stats.PartialHit = hit
+		if a.Space != nil {
+			// Table II: every attached query advances the LRU-K histories
+			// individually, exactly as if it had run alone.
+			a.Space.OnQuery(a.Buffer, hit)
+		}
+		if hit {
+			var rids []storage.RID
+			if q.Equality {
+				rids = a.Index.Lookup(q.Lo)
+			} else {
+				rids = a.Index.LookupRange(q.Lo, q.Hi)
+			}
+			m, err := fetchRIDs(a, rids, &outs[i].Stats, st.seen)
+			if err != nil {
+				outs[i].Err = err
+				continue
+			}
+			outs[i].Matches = m
+			outs[i].Stats.Matches = len(m)
+			continue
+		}
+		st.active = true
+		scanQ = append(scanQ, i)
+	}
+	if len(scanQ) == 0 {
+		return outs
+	}
+	if a.Buffer == nil {
+		sharedFullScan(a, qs, outs, states, scanQ)
+	} else {
+		sharedIndexingScan(a, qs, outs, states, scanQ)
+	}
+	return outs
+}
+
+// pollCancel deactivates attached queries whose context expired and
+// reports whether any query remains active. A canceled query keeps its
+// ctx error; its partial matches are discarded.
+func pollCancel(outs []SharedOutcome, states []scanState, scanQ []int) bool {
+	any := false
+	for _, i := range scanQ {
+		if !states[i].active {
+			continue
+		}
+		if err := states[i].ctx.Err(); err != nil {
+			outs[i].Err = err
+			outs[i].Matches = nil
+			states[i].active = false
+			continue
+		}
+		any = true
+	}
+	return any
+}
+
+// failActive ends the scan for every still-attached query with err —
+// used for table-level faults (page read/decode, buffer insertion) that
+// no attachee can recover from.
+func failActive(err error, outs []SharedOutcome, states []scanState, scanQ []int) {
+	for _, i := range scanQ {
+		if states[i].active {
+			outs[i].Err = err
+			outs[i].Matches = nil
+			states[i].active = false
+		}
+	}
+}
+
+// sharedFullScan answers the scanning queries with one full table scan —
+// the no-buffer fallback (baseline engines with the Index Buffer
+// disabled, or a buffer dropped between planning and execution).
+func sharedFullScan(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int) {
+	for _, i := range scanQ {
+		outs[i].Stats.FullScan = true
+	}
+	numPages := a.Table.NumPages()
+	for p := 0; p < numPages; p++ {
+		if !pollCancel(outs, states, scanQ) {
+			return
+		}
+		pg := storage.PageID(p)
+		for _, i := range scanQ {
+			if states[i].active {
+				states[i].seen.read(&outs[i].Stats, pg)
+			}
+		}
+		err := a.Table.ScanPage(pg, func(rid storage.RID, tu storage.Tuple) error {
+			v := tu.Value(a.Column)
+			for _, i := range scanQ {
+				if states[i].active && qs[i].matches(v) {
+					outs[i].Matches = append(outs[i].Matches, Match{RID: rid, Tuple: tu})
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			failActive(err, outs, states, scanQ)
+			return
+		}
+	}
+	for _, i := range scanQ {
+		if states[i].active {
+			outs[i].Stats.Matches = len(outs[i].Matches)
+		}
+	}
+}
+
+// sharedIndexingScan is the paper's Algorithm 1 generalized to a
+// predicate set. The page set I comes from Algorithm 2
+// (Space.SelectPagesForBuffer), chosen once for the batch; the buffer is
+// pinned for the pass's duration so a concurrent scan on another table
+// cannot displace the partitions the skip decisions depend on.
+func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int) {
+	release := a.Space.PinForScan(a.Buffer)
+	defer release()
+
+	numPages := a.Table.NumPages()
+	selected := a.Space.SelectPagesForBuffer(a.Buffer, numPages) // I ← SelectPagesForBuffer()
+	inI := make(map[storage.PageID]bool, len(selected))
+	for _, p := range selected {
+		inI[p] = true
+	}
+
+	// Index Buffer scan (lines 8–10), demultiplexed per query.
+	for _, i := range scanQ {
+		var rids []storage.RID
+		if qs[i].Equality {
+			rids = a.Buffer.Lookup(qs[i].Lo)
+		} else {
+			rids = a.Buffer.LookupRange(qs[i].Lo, qs[i].Hi)
+		}
+		m, err := fetchRIDs(a, rids, &outs[i].Stats, states[i].seen)
+		if err != nil {
+			outs[i].Err = err
+			states[i].active = false
+			continue
+		}
+		outs[i].Matches = m
+		outs[i].Stats.BufferMatches = len(m)
+	}
+
+	// Table scan (lines 11–17): skip pages with C[p] == 0, index the
+	// selected pages exactly once, demux matches to every attachee.
+	entriesAdded := 0
+	skipped := make(map[storage.PageID]bool)
+	aborted := false
+	for p := 0; p < numPages && !aborted; p++ {
+		if !pollCancel(outs, states, scanQ) {
+			aborted = true // every attachee canceled; keep the consistent prefix
+			break
+		}
+		pg := storage.PageID(p)
+		if a.Buffer.Counter(pg) == 0 {
+			skipped[pg] = true
+			for _, i := range scanQ {
+				if states[i].active {
+					outs[i].Stats.PagesSkipped++
+				}
+			}
+			continue
+		}
+		indexThis := inI[pg]
+		if indexThis {
+			if err := a.Buffer.BeginPage(pg); err != nil {
+				failActive(err, outs, states, scanQ)
+				aborted = true
+				break
+			}
+		}
+		for _, i := range scanQ {
+			if states[i].active {
+				states[i].seen.read(&outs[i].Stats, pg)
+			}
+		}
+		var added []core.PageEntry
+		err := a.Table.ScanPage(pg, func(rid storage.RID, tu storage.Tuple) error {
+			v := tu.Value(a.Column)
+			for _, i := range scanQ {
+				if states[i].active && qs[i].matches(v) {
+					outs[i].Matches = append(outs[i].Matches, Match{RID: rid, Tuple: tu})
+				}
+			}
+			if indexThis && (a.Index == nil || !a.Index.Covers(v)) {
+				if err := a.Buffer.AddEntry(pg, v, rid); err != nil {
+					return err
+				}
+				added = append(added, core.PageEntry{Key: v, RID: rid})
+			}
+			return nil
+		})
+		if err != nil {
+			if indexThis {
+				// Mid-page failure: BeginPage assigned the page to a
+				// partition but only part of its tuples were inserted —
+				// without this rollback C[pg] would read 0 and every later
+				// scan would skip tuples that were never buffered.
+				a.Buffer.AbortPage(pg, added)
+			}
+			failActive(err, outs, states, scanQ)
+			aborted = true
+			break
+		}
+		entriesAdded += len(added)
+	}
+
+	// Recover covered matches on skipped pages for range queries: a range
+	// straddling the coverage predicate has covered matches sitting
+	// unreachable on skipped pages (see Range).
+	if !aborted && a.Index != nil && len(skipped) > 0 {
+		for _, i := range scanQ {
+			if !states[i].active || qs[i].Equality {
+				continue
+			}
+			var missing []storage.RID
+			for _, rid := range a.Index.ScanRange(qs[i].Lo, qs[i].Hi) {
+				if skipped[rid.Page] {
+					missing = append(missing, rid)
+				}
+			}
+			m, err := fetchRIDs(a, missing, &outs[i].Stats, states[i].seen)
+			if err != nil {
+				outs[i].Err = err
+				outs[i].Matches = nil
+				states[i].active = false
+				continue
+			}
+			outs[i].Matches = append(outs[i].Matches, m...)
+		}
+	}
+
+	// Attribute the batch-wide maintenance work to the first scanning
+	// query, so per-query stats sum to the work actually performed.
+	leader := scanQ[0]
+	outs[leader].Stats.PagesSelected = len(selected)
+	outs[leader].Stats.EntriesAdded = entriesAdded
+
+	for _, i := range scanQ {
+		if states[i].active {
+			outs[i].Stats.Matches = len(outs[i].Matches)
+		}
+	}
+}

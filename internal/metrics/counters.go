@@ -1,0 +1,41 @@
+package metrics
+
+import "sync/atomic"
+
+// SharedScanCounters counts the engine's scan-sharing activity. All
+// fields are atomics so queries on every table bump them without
+// additional locking; Snapshot gives a consistent-enough read for tests
+// and monitoring (each field is read atomically, the set is not).
+type SharedScanCounters struct {
+	// Misses counts queries that needed an indexing scan (partial-index
+	// misses on a buffered column) and entered the admission layer.
+	Misses atomic.Uint64
+	// Scans counts Algorithm-1 passes actually executed.
+	Scans atomic.Uint64
+	// Attached counts queries that joined another query's batch instead
+	// of leading their own scan.
+	Attached atomic.Uint64
+}
+
+// SharedScanStats is a point-in-time reading of SharedScanCounters.
+type SharedScanStats struct {
+	Misses   uint64 // miss queries admitted
+	Scans    uint64 // Algorithm-1 passes executed
+	Attached uint64 // queries that rode along on another's scan
+	Saved    uint64 // scans avoided by sharing: Misses - Scans
+}
+
+// Snapshot reads the counters. Saved clamps at zero: between the Misses
+// and Scans loads another query may slip in, so the difference could
+// transiently read negative.
+func (c *SharedScanCounters) Snapshot() SharedScanStats {
+	s := SharedScanStats{
+		Misses:   c.Misses.Load(),
+		Scans:    c.Scans.Load(),
+		Attached: c.Attached.Load(),
+	}
+	if s.Misses > s.Scans {
+		s.Saved = s.Misses - s.Scans
+	}
+	return s
+}

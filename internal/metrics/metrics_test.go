@@ -173,3 +173,22 @@ func TestHistogram(t *testing.T) {
 		t.Errorf("summary = %q", h.Summary("us"))
 	}
 }
+
+func TestSharedScanSnapshot(t *testing.T) {
+	var c SharedScanCounters
+	if s := c.Snapshot(); s != (SharedScanStats{}) {
+		t.Errorf("zero counters snapshot = %+v", s)
+	}
+	c.Misses.Add(8)
+	c.Scans.Add(3)
+	c.Attached.Add(5)
+	s := c.Snapshot()
+	if s.Misses != 8 || s.Scans != 3 || s.Attached != 5 || s.Saved != 5 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	// Saved clamps instead of underflowing when Scans transiently leads.
+	c.Scans.Add(10)
+	if s := c.Snapshot(); s.Saved != 0 {
+		t.Errorf("Saved = %d, want 0", s.Saved)
+	}
+}
