@@ -38,7 +38,9 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
@@ -46,7 +48,9 @@ import (
 	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Options configures a database. The zero value gives the paper's
@@ -559,9 +563,45 @@ type SharedScanStats = metrics.SharedScanStats
 func (db *DB) SharedScanStats() SharedScanStats { return db.eng.SharedScanStats() }
 
 // TraceReport renders per-column query statistics — queries, hit rate,
-// mean pages per query, and the share of pages the Index Buffer let
-// scans skip.
+// mean pages per query, the share of pages the Index Buffer let scans
+// skip, and mean wall-clock microseconds per query.
 func (db *DB) TraceReport() string { return db.eng.Tracer().Report() }
+
+// TraceEvent is one structured span event from the adaptive machinery:
+// miss admission, shared-scan leadership or attachment, Algorithm-2 page
+// selection, displacement, and page completion (C[p] → 0). Seq is a
+// process-wide monotonic sequence number; see trace.Span.
+type TraceEvent = trace.Span
+
+// EnableTraceEvents turns span-event recording on or off. Off (the
+// default) reduces the instrumentation on every query path to a single
+// atomic load — see the overhead contract in DESIGN.md, "Observability".
+func (db *DB) EnableTraceEvents(on bool) { db.eng.Tracer().EnableSpans(on) }
+
+// TraceEvents returns the retained span events, newest first. Recording
+// must have been enabled with EnableTraceEvents; the ring keeps the most
+// recent events only.
+func (db *DB) TraceEvents() []TraceEvent { return db.eng.Tracer().Spans(1 << 30) }
+
+// LatencyStats is one execution mechanism's query-latency summary in
+// microseconds: exact count, sum, mean and max, with reservoir-sampled
+// p50/p95/p99.
+type LatencyStats = trace.MechanismLatency
+
+// LatencyStats returns per-mechanism latency summaries (hit,
+// indexing-scan, full-scan, shared-follower), sorted by mechanism.
+func (db *DB) LatencyStats() []LatencyStats { return db.eng.Tracer().LatencyStats() }
+
+// WriteMetrics renders every monitor — scan-sharing counters, Index
+// Buffer Space occupancy, per-buffer gauges, per-column aggregates, and
+// per-mechanism latency summaries — to w in the Prometheus text
+// exposition format (v0.0.4).
+func (db *DB) WriteMetrics(w io.Writer) error { return db.eng.WriteMetrics(w) }
+
+// MetricsHandler returns an http.Handler serving /metrics (Prometheus
+// text) and /debug/pprof/* for this database. Mount it on a server of
+// your choosing; nothing listens unless you do.
+func (db *DB) MetricsHandler() http.Handler { return obs.Handler(db.eng) }
 
 // Close flushes buffer pools and releases file-backed stores. In-memory
 // databases need no Close, but calling it is always safe.

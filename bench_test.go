@@ -623,3 +623,45 @@ func BenchmarkChurn(b *testing.B) {
 	}
 	b.ReportMetric(late, "late_pages/query")
 }
+
+// BenchmarkTraceOverhead measures the observability layer's per-query
+// cost on the hot hit path. With span recording off (the default) every
+// instrumentation point is a single atomic load and the access path
+// allocates nothing extra, so the two sub-benchmarks should be within
+// noise of each other — the overhead contract in DESIGN.md,
+// "Observability".
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, spans := range []bool{false, true} {
+		name := "spans-off"
+		if spans {
+			name = "spans-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := MustOpen(Options{})
+			defer db.Close()
+			tb, err := db.CreateTable("data", Int64Column("k"), StringColumn("pad"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pad := strings.Repeat("s", 220)
+			for i := 0; i < 2000; i++ {
+				if _, err := tb.Insert(int64(i%100), pad); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Full coverage: every query is a partial-index hit, the path
+			// where instrumentation overhead would be most visible.
+			if err := tb.CreatePartialRangeIndex("k", 0, 99); err != nil {
+				b.Fatal(err)
+			}
+			db.EnableTraceEvents(spans)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tb.Query("k", int64(i%100)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

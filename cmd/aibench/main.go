@@ -15,9 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,8 +32,26 @@ func main() {
 		format  = flag.String("format", "table", "output format: table, tsv or plot")
 		step    = flag.Int("step", 10, "table output: print every step-th query")
 		latency = flag.Duration("latency", 0, "simulated device read latency (e.g. 100us); shapes wall-clock series")
+		listen  = flag.String("listen", "", "serve /metrics (current experiment) and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *listen != "" {
+		// Experiments build their own engines; track the latest so
+		// /metrics follows whichever experiment is running.
+		var current atomic.Pointer[engine.Engine]
+		bench.SetEngineObserver(func(e *engine.Engine) {
+			e.Tracer().EnableSpans(true)
+			current.Store(e)
+		})
+		srv, addr, err := obs.ServeDynamic(*listen, current.Load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aibench: listen:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics and /debug/pprof/\n", addr)
+	}
 
 	opts := bench.Options{Rows: *rows, Queries: *queries, Seed: *seed, ReadLatency: *latency}
 	figs := []string{*fig}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/shell"
 	"repro/internal/storage"
 )
@@ -33,6 +34,7 @@ import (
 func main() {
 	demo := flag.Bool("demo", false, "preload a populated flights table")
 	data := flag.String("data", "", "directory for persistent storage (reopened if a catalog exists)")
+	listen := flag.String("listen", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:9090); also enables span recording")
 	flag.Parse()
 
 	cfg := engine.Config{Space: core.Config{IMax: 2000, P: 500}, DataDir: *data}
@@ -47,6 +49,16 @@ func main() {
 		eng = engine.New(cfg)
 	}
 	defer eng.Close()
+	if *listen != "" {
+		srv, addr, err := obs.Serve(*listen, eng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aibshell: listen:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		eng.Tracer().EnableSpans(true)
+		fmt.Printf("observability: http://%s/metrics and /debug/pprof/\n", addr)
+	}
 	if *demo {
 		if err := preload(eng); err != nil {
 			fmt.Fprintln(os.Stderr, "aibshell: preload:", err)

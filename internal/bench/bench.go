@@ -15,6 +15,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -23,6 +24,28 @@ import (
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
+
+// engineObserver, when set, receives every engine an experiment creates.
+// cmd/aibench uses it to point its -listen /metrics endpoint at the
+// engine of the currently running experiment.
+var engineObserver atomic.Pointer[func(*engine.Engine)]
+
+// SetEngineObserver registers fn to be called with each experiment
+// engine as it is created (nil unregisters). Safe for concurrent use.
+func SetEngineObserver(fn func(*engine.Engine)) {
+	if fn == nil {
+		engineObserver.Store(nil)
+		return
+	}
+	engineObserver.Store(&fn)
+}
+
+// observeEngine notifies the registered observer, if any.
+func observeEngine(eng *engine.Engine) {
+	if fn := engineObserver.Load(); fn != nil {
+		(*fn)(eng)
+	}
+}
 
 // Options configures the common experiment setup.
 type Options struct {
@@ -100,6 +123,7 @@ func setup(o Options, spaceCfg core.Config, columns int, disableBuffer bool) (*e
 		DisableIndexBuffer: disableBuffer,
 		ReadLatency:        o.ReadLatency,
 	})
+	observeEngine(eng)
 	tb, err := eng.CreateTable("t", schema)
 	if err != nil {
 		return nil, nil, err

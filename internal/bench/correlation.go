@@ -104,6 +104,7 @@ func runCorrelationLevel(o CorrelationOptions, keys []int, target float64) (Corr
 		IMax: o.Rows, // unlimited build-out in one scan
 		P:    o.Rows,
 	}})
+	observeEngine(eng)
 	schema := storage.MustSchema(
 		storage.Column{Name: "k", Kind: storage.KindInt64},
 		storage.Column{Name: "payload", Kind: storage.KindString},

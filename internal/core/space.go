@@ -29,6 +29,27 @@ type Space struct {
 	buffers map[string]*IndexBuffer
 	order   []string // creation order, for deterministic iteration
 	stats   SpaceStats
+	obs     Observer // optional management-event sink; may be nil
+}
+
+// Observer receives buffer-management span events from the Space. The
+// kinds mirror internal/trace's span constants (this package cannot
+// import trace without a cycle): "page-select" after Algorithm 2 chose
+// the page set I (buffer = target, n = |I|), and "displace" for each
+// victim partition dropped (buffer = victim's owner, n = entries
+// released). Implementations are called with Space.mu held and must not
+// call back into the Space or its buffers.
+type Observer interface {
+	SpaceEvent(kind, buffer string, page, n int)
+}
+
+// SetObserver attaches the management-event sink (nil detaches). The
+// engine points it at the tracer's span ring; emission is gated there,
+// so an attached observer costs one interface call per indexing scan.
+func (s *Space) SetObserver(o Observer) {
+	s.mu.Lock()
+	s.obs = o
+	s.mu.Unlock()
 }
 
 // SpaceStats counts management activity.
@@ -279,6 +300,9 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 		s.stats.PartitionsDropped++
 		s.stats.EntriesDropped += uint64(v.entries)
 		v.owner.dropPartition(v.part)
+		if s.obs != nil {
+			s.obs.SpaceEvent("displace", v.owner.name, -1, v.entries)
+		}
 	}
 
 	out := make([]storage.PageID, 0, accepted)
@@ -287,6 +311,9 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	s.stats.PagesSelected += uint64(len(out))
+	if s.obs != nil {
+		s.obs.SpaceEvent("page-select", target.name, -1, len(out))
+	}
 	return out
 }
 

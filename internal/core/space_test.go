@@ -184,6 +184,71 @@ func TestVictimStageTwoOrdering(t *testing.T) {
 	}
 }
 
+// recordingObserver collects SpaceEvent calls for assertions.
+type recordingObserver struct {
+	events []struct {
+		kind, buffer string
+		n            int
+	}
+}
+
+func (r *recordingObserver) SpaceEvent(kind, buffer string, page, n int) {
+	r.events = append(r.events, struct {
+		kind, buffer string
+		n            int
+	}{kind, buffer, n})
+}
+
+// TestObserverSeesSelectionAndDisplacement reuses the displacement
+// scenario of TestDisplacementPrefersLowBenefitBuffer and asserts the
+// attached observer sees the Algorithm-2 decision: one displace event
+// per dropped victim (attributed to the victim's owner) and a final
+// page-select for the target.
+func TestObserverSeesSelectionAndDisplacement(t *testing.T) {
+	s := NewSpace(Config{IMax: 100, P: 2, K: 2, SpaceLimit: 8, Rand: rand.New(rand.NewSource(42))})
+	obs := &recordingObserver{}
+	s.SetObserver(obs)
+	cold, _ := s.CreateBuffer("t.cold", []int{2, 2})
+	hot, _ := s.CreateBuffer("t.hot", []int{2, 2})
+	target, _ := s.CreateBuffer("t.new", []int{2, 2})
+	indexPages(t, cold, s.SelectPagesForBuffer(cold, 2))
+	indexPages(t, hot, s.SelectPagesForBuffer(hot, 2))
+	for i := 0; i < 50; i++ {
+		s.OnQuery(hot, false)
+	}
+	s.OnQuery(target, false)
+	s.OnQuery(target, false)
+	obs.events = nil // only observe the displacing selection
+
+	got := s.SelectPagesForBuffer(target, 2)
+	var displaced, selected int
+	for _, e := range obs.events {
+		switch e.kind {
+		case "displace":
+			displaced++
+			if e.buffer != "t.cold" {
+				t.Errorf("displace attributed to %q, want t.cold", e.buffer)
+			}
+			if e.n <= 0 {
+				t.Errorf("displace released %d entries", e.n)
+			}
+		case "page-select":
+			selected++
+			if e.buffer != "t.new" || e.n != len(got) {
+				t.Errorf("page-select event = %+v, want target t.new n=%d", e, len(got))
+			}
+		default:
+			t.Errorf("unexpected event kind %q", e.kind)
+		}
+	}
+	if displaced == 0 {
+		t.Error("no displace events despite displacement")
+	}
+	if selected != 1 {
+		t.Errorf("page-select events = %d, want 1", selected)
+	}
+}
+
 func TestSelectPagesEmptyCandidates(t *testing.T) {
 	s := NewSpace(Config{})
 	b, _ := s.CreateBuffer("t.a", []int{0, 0})

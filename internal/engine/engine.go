@@ -97,12 +97,25 @@ func New(cfg Config) *Engine {
 	if cfg.PoolPages <= 0 {
 		cfg.PoolPages = defaultPoolPages
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		space:  core.NewSpace(cfg.Space),
 		tables: make(map[string]*Table),
 		tracer: trace.New(traceCapacity),
 	}
+	// Route the Space's management events (Algorithm-2 page selection,
+	// displacement) into the tracer's span ring; emission is gated by the
+	// tracer's atomic enable flag, so the attached observer is free while
+	// span recording is off.
+	e.space.SetObserver(spaceSpans{e.tracer})
+	return e
+}
+
+// spaceSpans adapts the tracer's span ring to core.Observer.
+type spaceSpans struct{ tr *trace.Tracer }
+
+func (s spaceSpans) SpaceEvent(kind, buffer string, page, n int) {
+	s.tr.Span(kind, buffer, page, n)
 }
 
 // Tracer exposes the engine's query monitor.
@@ -600,11 +613,19 @@ func (t *Table) accessLocked(column int) (exec.Access, error) {
 	if err := t.checkColumn(column); err != nil {
 		return exec.Access{}, err
 	}
-	return exec.Access{
+	a := exec.Access{
 		Table:  t.heap,
 		Column: column,
 		Index:  t.indexes[column],
 		Buffer: t.buffers[column],
 		Space:  t.engine.space,
-	}, nil
+	}
+	// The span callback (and the buffer-name string it captures) is built
+	// only while span recording is on, so a disabled tracer costs the
+	// access path one atomic load and zero allocations.
+	if tr := t.engine.tracer; tr.SpansEnabled() {
+		target := t.bufferName(column)
+		a.Span = func(kind string, page, n int) { tr.Span(kind, target, page, n) }
+	}
+	return a, nil
 }

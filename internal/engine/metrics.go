@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders the engine's monitors — scan-sharing counters, Index
+// Buffer Space occupancy, per-buffer gauges, per-column query aggregates
+// and per-mechanism latency summaries — in the Prometheus text exposition
+// format (version 0.0.4), so a standard scraper pointed at the obs
+// package's /metrics endpoint sees the adaptive machinery live.
+//
+// Naming follows the Prometheus conventions: every metric is prefixed
+// aib_, counters end in _total, and units are spelled out
+// (microseconds, entries). All values are snapshots taken through the
+// same accessors the rest of the engine uses, so rendering never blocks
+// queries beyond the brief per-structure locks those accessors take.
+
+// metricsWriter accumulates Fprintf errors so the renderer can be written
+// straight-line; the first error wins and later writes are skipped.
+type metricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (m *metricsWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+// head emits the # HELP / # TYPE preamble of one metric family.
+func (m *metricsWriter) head(name, help, typ string) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteMetrics renders every engine monitor to w in the Prometheus text
+// exposition format v0.0.4. It is safe to call concurrently with queries;
+// the values are per-structure snapshots, not a global consistent cut.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	m := &metricsWriter{w: w}
+
+	// Scan-sharing admission counters.
+	ss := e.SharedScanStats()
+	m.head("aib_shared_scan_misses_total", "Miss queries admitted to the scan-sharing layer.", "counter")
+	m.printf("aib_shared_scan_misses_total %d\n", ss.Misses)
+	m.head("aib_shared_scan_passes_total", "Algorithm-1 indexing passes actually executed.", "counter")
+	m.printf("aib_shared_scan_passes_total %d\n", ss.Scans)
+	m.head("aib_shared_scan_attached_total", "Queries that rode along on another query's scan.", "counter")
+	m.printf("aib_shared_scan_attached_total %d\n", ss.Attached)
+	m.head("aib_shared_scan_saved_total", "Scans avoided by sharing (misses - passes).", "counter")
+	m.printf("aib_shared_scan_saved_total %d\n", ss.Saved)
+
+	// Index Buffer Space occupancy and management counters.
+	m.head("aib_space_entries_used", "Index Buffer entries currently held across all buffers.", "gauge")
+	m.printf("aib_space_entries_used %d\n", e.space.Used())
+	m.head("aib_space_entries_limit", "Configured Index Buffer Space entry limit L (0 = unlimited).", "gauge")
+	m.printf("aib_space_entries_limit %d\n", e.space.Config().SpaceLimit)
+	sp := e.space.Stats()
+	m.head("aib_space_partitions_dropped_total", "Partitions displaced from the Index Buffer Space.", "counter")
+	m.printf("aib_space_partitions_dropped_total %d\n", sp.PartitionsDropped)
+	m.head("aib_space_entries_dropped_total", "Entries discarded by displacement.", "counter")
+	m.printf("aib_space_entries_dropped_total %d\n", sp.EntriesDropped)
+	m.head("aib_space_pages_selected_total", "Pages chosen for indexing by Algorithm 2.", "counter")
+	m.printf("aib_space_pages_selected_total %d\n", sp.PagesSelected)
+
+	// Per-buffer gauges. Buffers() returns a creation-ordered snapshot.
+	m.head("aib_buffer_entries", "Entries held by one Index Buffer.", "gauge")
+	bufs := e.space.Buffers()
+	for _, b := range bufs {
+		m.printf("aib_buffer_entries{buffer=%q} %d\n", escapeLabel(b.Name()), b.EntryCount())
+	}
+	m.head("aib_buffer_partitions", "Partitions held by one Index Buffer.", "gauge")
+	for _, b := range bufs {
+		m.printf("aib_buffer_partitions{buffer=%q} %d\n", escapeLabel(b.Name()), b.PartitionCount())
+	}
+	m.head("aib_buffer_buffered_pages", "Table pages fully indexed by one Index Buffer (C[p] = 0).", "gauge")
+	for _, b := range bufs {
+		m.printf("aib_buffer_buffered_pages{buffer=%q} %d\n", escapeLabel(b.Name()), b.BufferedPages())
+	}
+	m.head("aib_buffer_benefit", "Benefit estimate of one Index Buffer (entries per interval).", "gauge")
+	for _, b := range bufs {
+		m.printf("aib_buffer_benefit{buffer=%q} %g\n", escapeLabel(b.Name()), b.Benefit())
+	}
+	m.head("aib_buffer_mean_interval", "Mean LRU-K reference interval of one Index Buffer.", "gauge")
+	for _, b := range bufs {
+		m.printf("aib_buffer_mean_interval{buffer=%q} %g\n", escapeLabel(b.Name()), b.History().Mean())
+	}
+
+	// Per-column query aggregates from the tracer.
+	aggs := e.tracer.Aggregates()
+	m.head("aib_queries_total", "Queries answered, by table and column.", "counter")
+	for _, a := range aggs {
+		m.printf("aib_queries_total{table=%q,column=%q} %d\n",
+			escapeLabel(a.Table), escapeLabel(a.Column), a.Queries)
+	}
+	m.head("aib_query_hits_total", "Queries answered by the partial index alone.", "counter")
+	for _, a := range aggs {
+		m.printf("aib_query_hits_total{table=%q,column=%q} %d\n",
+			escapeLabel(a.Table), escapeLabel(a.Column), a.Hits)
+	}
+	m.head("aib_pages_read_total", "Heap pages fetched by queries.", "counter")
+	for _, a := range aggs {
+		m.printf("aib_pages_read_total{table=%q,column=%q} %d\n",
+			escapeLabel(a.Table), escapeLabel(a.Column), a.PagesRead)
+	}
+	m.head("aib_pages_skipped_total", "Pages skipped by indexing scans because C[p] = 0.", "counter")
+	for _, a := range aggs {
+		m.printf("aib_pages_skipped_total{table=%q,column=%q} %d\n",
+			escapeLabel(a.Table), escapeLabel(a.Column), a.PagesSkipped)
+	}
+	m.head("aib_query_wall_microseconds_total", "Wall-clock time spent answering queries.", "counter")
+	for _, a := range aggs {
+		m.printf("aib_query_wall_microseconds_total{table=%q,column=%q} %d\n",
+			escapeLabel(a.Table), escapeLabel(a.Column), a.WallMicros)
+	}
+
+	// Per-mechanism latency, rendered as a Prometheus summary: quantile
+	// lines plus _sum and _count. Quantiles are reservoir-sampled; sum and
+	// count are exact.
+	m.head("aib_query_latency_microseconds", "Query latency by execution mechanism.", "summary")
+	for _, l := range e.tracer.LatencyStats() {
+		mech := escapeLabel(l.Mechanism)
+		m.printf("aib_query_latency_microseconds{mechanism=%q,quantile=\"0.5\"} %g\n", mech, l.P50)
+		m.printf("aib_query_latency_microseconds{mechanism=%q,quantile=\"0.95\"} %g\n", mech, l.P95)
+		m.printf("aib_query_latency_microseconds{mechanism=%q,quantile=\"0.99\"} %g\n", mech, l.P99)
+		m.printf("aib_query_latency_microseconds_sum{mechanism=%q} %g\n", mech, l.Sum)
+		m.printf("aib_query_latency_microseconds_count{mechanism=%q} %d\n", mech, l.Count)
+	}
+
+	// Span machinery state.
+	m.head("aib_trace_spans_total", "Span events emitted since the engine started (survives Reset).", "counter")
+	m.printf("aib_trace_spans_total %d\n", e.tracer.SpanCount())
+	m.head("aib_trace_spans_enabled", "Whether span recording is currently on.", "gauge")
+	enabled := 0
+	if e.tracer.SpansEnabled() {
+		enabled = 1
+	}
+	m.printf("aib_trace_spans_enabled %d\n", enabled)
+
+	return m.err
+}

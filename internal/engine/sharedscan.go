@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // This file is the admission layer of scan sharing. A query that misses
@@ -99,11 +100,18 @@ func (s *scanAdmission) seal(column int, b *scanBatch) []*attachedQuery {
 func (t *Table) queryShared(ctx context.Context, column int, lo, hi storage.Value, equality bool) ([]exec.Match, exec.QueryStats, error) {
 	counters := &t.engine.sharedScans
 	counters.Misses.Add(1)
+	tr := t.engine.tracer
+	if tr.SpansEnabled() {
+		tr.Span(trace.SpanMissAdmit, t.bufferName(column), -1, 0)
+	}
 
 	q := &attachedQuery{ctx: ctx, lo: lo, hi: hi, equality: equality}
 	batch, leader := t.scans.attach(column, q)
 	if !leader {
 		counters.Attached.Add(1)
+		if tr.SpansEnabled() {
+			tr.Span(trace.SpanScanAttach, t.bufferName(column), -1, 0)
+		}
 		select {
 		case <-batch.done:
 			return q.out, q.stats, q.err
@@ -128,6 +136,9 @@ func (t *Table) queryShared(ctx context.Context, column int, lo, hi storage.Valu
 		}
 	} else {
 		counters.Scans.Add(1)
+		if tr.SpansEnabled() {
+			tr.Span(trace.SpanScanLead, t.bufferName(column), -1, len(attached))
+		}
 		t.runShared(a, column, attached)
 	}
 	t.mu.Unlock()
@@ -143,11 +154,20 @@ func (t *Table) runShared(a exec.Access, column int, attached []*attachedQuery) 
 		qs[i] = exec.SharedQuery{Lo: aq.lo, Hi: aq.hi, Equality: aq.equality, Ctx: aq.ctx}
 	}
 	outs := exec.ExecuteShared(a, qs)
+	col := t.schema.Column(column).Name
 	for i, aq := range attached {
 		o := outs[i]
 		aq.out, aq.stats, aq.err = o.Matches, o.Stats, o.Err
 		if o.Err == nil && !aq.canceled.Load() {
-			t.engine.tracer.Record(t.name, t.schema.Column(column).Name, o.Stats)
+			// attached[0] is the query that created the batch — the leader
+			// whose wall time is the scan itself. Followers spent their time
+			// waiting on the leader, so their latency is tracked under a
+			// separate mechanism to keep the scan histograms honest.
+			if i == 0 {
+				t.engine.tracer.Record(t.name, col, o.Stats)
+			} else {
+				t.engine.tracer.RecordFollower(t.name, col, o.Stats)
+			}
 		}
 	}
 }

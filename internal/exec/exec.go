@@ -77,6 +77,13 @@ type Access struct {
 	Index  *index.Partial
 	Buffer *core.IndexBuffer
 	Space  *core.Space
+
+	// Span, when non-nil, receives span events from the indexing scan —
+	// currently "page-complete" (page fully buffered, the C[p]→0
+	// transition) with the page id and the entries added for it. The
+	// engine wires it to the tracer's span ring only while span recording
+	// is enabled, so the nil check is the entire disabled-path cost.
+	Span func(kind string, page, n int)
 }
 
 // NeedsIndexingScan reports whether the equality query column = key would

@@ -322,6 +322,9 @@ func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states
 			break
 		}
 		entriesAdded += len(added)
+		if indexThis && a.Span != nil {
+			a.Span("page-complete", int(pg), len(added))
+		}
 	}
 
 	// Recover covered matches on skipped pages for range queries: a range

@@ -3,77 +3,164 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
+	"sync"
 )
 
-// Histogram accumulates observations and reports order statistics. The
-// bench harness uses it to summarize per-query wall-clock latencies
-// (p50/p95/p99) alongside the logical-I/O series.
+// Histogram accumulates observations and reports order statistics
+// (p50/p95/p99). The bench harness uses it to summarize per-query
+// wall-clock latencies, and the tracer keeps one per query mechanism.
+//
+// Concurrency guarantee: a Histogram is safe for concurrent use —
+// Observe, Count, Sum, Mean, Quantile, Summary and Stats may all be
+// called from different goroutines without external locking, and no
+// reader mutates the observation slice another reader is sorting (the
+// historical data race: Quantile sorted the live slice in place).
+// Quantiles are served from a sorted copy that is cached until the next
+// Observe invalidates it.
+//
+// An unbounded Histogram (NewHistogram) retains every observation and
+// reports exact order statistics. A bounded one
+// (NewReservoirHistogram) keeps a fixed-size uniform reservoir sample
+// (Vitter's Algorithm R), so memory stays constant under production
+// query volumes; Count, Sum, Mean and Max remain exact, quantiles
+// become estimates over the sample.
 type Histogram struct {
-	values []float64
-	sorted bool
+	mu     sync.Mutex
+	values []float64  // retained observations (all of them, or the reservoir)
+	sorted []float64  // cached sorted copy of values; nil when stale
+	count  uint64     // observations ever made (>= len(values) when bounded)
+	sum    float64    // exact running sum
+	max    float64    // exact running max
+	limit  int        // reservoir capacity; 0 = retain everything
+	rng    *rand.Rand // reservoir replacement randomness (limit > 0 only)
 }
 
-// NewHistogram creates an empty histogram.
+// NewHistogram creates an empty, unbounded histogram: every observation
+// is retained and quantiles are exact.
 func NewHistogram() *Histogram { return &Histogram{} }
+
+// NewReservoirHistogram creates a histogram bounded to limit retained
+// observations via uniform reservoir sampling; limit <= 0 means
+// unbounded. The seed makes the sampling deterministic for tests.
+func NewReservoirHistogram(limit int, seed int64) *Histogram {
+	if limit <= 0 {
+		return NewHistogram()
+	}
+	return &Histogram{limit: limit, rng: rand.New(rand.NewSource(seed))}
+}
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	h.values = append(h.values, v)
-	h.sorted = false
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	if h.limit == 0 || len(h.values) < h.limit {
+		h.values = append(h.values, v)
+	} else if j := h.rng.Int63n(int64(h.count)); j < int64(h.limit) {
+		h.values[j] = v // Algorithm R: keep each observation with prob limit/count
+	} else {
+		return // reservoir unchanged; sorted cache stays valid
+	}
+	h.sorted = nil
 }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() int { return len(h.values) }
+// Count returns the number of observations made (not the number
+// retained, which a bounded histogram caps).
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int(h.count)
+}
 
-// Sum returns the total of all observations.
+// Sum returns the total of all observations (exact even when bounded).
 func (h *Histogram) Sum() float64 {
-	s := 0.0
-	for _, v := range h.values {
-		s += v
-	}
-	return s
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
-// Mean returns the arithmetic mean (0 when empty).
+// Mean returns the arithmetic mean (0 when empty; exact even when
+// bounded).
 func (h *Histogram) Mean() float64 {
-	if len(h.values) == 0 {
-		return 0
-	}
-	return h.Sum() / float64(len(h.values))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.meanLocked()
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
-// sorted observations; 0 when empty.
-func (h *Histogram) Quantile(q float64) float64 {
-	if len(h.values) == 0 {
+func (h *Histogram) meanLocked() float64 {
+	if h.count == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Float64s(h.values)
-		h.sorted = true
-	}
-	if q <= 0 {
-		return h.values[0]
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on
+// the sorted retained observations; 0 when empty. q >= 1 reports the
+// exact maximum even when the reservoir has since evicted it.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if len(h.values) == 0 {
+		return 0
 	}
 	if q >= 1 {
-		return h.values[len(h.values)-1]
+		return h.max
 	}
-	rank := int(math.Ceil(q*float64(len(h.values)))) - 1
+	if h.sorted == nil {
+		h.sorted = append(make([]float64, 0, len(h.values)), h.values...)
+		sort.Float64s(h.sorted)
+	}
+	if q <= 0 {
+		return h.sorted[0]
+	}
+	rank := int(math.Ceil(q*float64(len(h.sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return h.values[rank]
+	return h.sorted[rank]
+}
+
+// HistogramStats is a consistent point-in-time snapshot of a
+// histogram's summary statistics, taken under one lock acquisition.
+type HistogramStats struct {
+	Count          int
+	Sum, Mean, Max float64
+	P50, P95, P99  float64
+}
+
+// Stats snapshots count/sum/mean/max and the p50/p95/p99 quantiles
+// atomically with respect to concurrent Observe calls.
+func (h *Histogram) Stats() HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramStats{
+		Count: int(h.count),
+		Sum:   h.sum,
+		Mean:  h.meanLocked(),
+		Max:   h.max,
+		P50:   h.quantileLocked(0.5),
+		P95:   h.quantileLocked(0.95),
+		P99:   h.quantileLocked(0.99),
+	}
 }
 
 // Summary renders count/mean/p50/p95/p99/max in one line with the given
 // unit suffix.
 func (h *Histogram) Summary(unit string) string {
-	if len(h.values) == 0 {
+	s := h.Stats()
+	if s.Count == 0 {
 		return "(no observations)"
 	}
 	return fmt.Sprintf("n=%d mean=%.1f%s p50=%.1f%s p95=%.1f%s p99=%.1f%s max=%.1f%s",
-		h.Count(), h.Mean(), unit,
-		h.Quantile(0.5), unit, h.Quantile(0.95), unit, h.Quantile(0.99), unit,
-		h.Quantile(1), unit)
+		s.Count, s.Mean, unit, s.P50, unit, s.P95, unit, s.P99, unit, s.Max, unit)
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -171,6 +172,93 @@ func TestHistogram(t *testing.T) {
 	}
 	if !strings.Contains(h.Summary("us"), "p95=") {
 		t.Errorf("summary = %q", h.Summary("us"))
+	}
+}
+
+// TestHistogramConcurrent hammers observations and quantile reads from
+// parallel goroutines; under -race this is the regression test for the
+// historical in-place sort race between Quantile/Summary and Observe.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(g*500 + i))
+				_ = h.Quantile(0.95)
+				_ = h.Summary("us")
+				_ = h.Stats()
+				_ = h.Mean()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+	if got := h.Quantile(1); got != 3999 {
+		t.Errorf("max = %v, want 3999", got)
+	}
+}
+
+func TestReservoirHistogramBounds(t *testing.T) {
+	h := NewReservoirHistogram(64, 1)
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 10000 {
+		t.Errorf("count = %d, want 10000 (total observed, not retained)", h.Count())
+	}
+	h.mu.Lock()
+	retained := len(h.values)
+	h.mu.Unlock()
+	if retained != 64 {
+		t.Errorf("retained %d values, want reservoir size 64", retained)
+	}
+	// Exact statistics survive sampling.
+	if h.Sum() != 50005000 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	if got := h.Mean(); got != 5000.5 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := h.Quantile(1); got != 10000 {
+		t.Errorf("max = %v, want exact 10000", got)
+	}
+	// The sampled median is an estimate; for a uniform stream of 10k
+	// observations and a 64-slot reservoir it lands well inside the bulk.
+	if p50 := h.Quantile(0.5); p50 < 1500 || p50 > 8500 {
+		t.Errorf("sampled p50 = %v, implausibly far from 5000", p50)
+	}
+	// limit <= 0 degrades to unbounded.
+	u := NewReservoirHistogram(0, 1)
+	for i := 0; i < 100; i++ {
+		u.Observe(float64(i))
+	}
+	u.mu.Lock()
+	n := len(u.values)
+	u.mu.Unlock()
+	if n != 100 {
+		t.Errorf("unbounded fallback retained %d, want 100", n)
+	}
+}
+
+func TestHistogramStatsSnapshot(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Stats(); s != (HistogramStats{}) {
+		t.Errorf("empty stats = %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Stats()
+	if s.Count != 100 || s.Sum != 5050 || s.Mean != 50.5 || s.Max != 100 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("quantiles = %+v", s)
 	}
 }
 

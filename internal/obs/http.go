@@ -1,0 +1,78 @@
+// Package obs mounts the engine's observability surface on HTTP: a
+// Prometheus /metrics endpoint rendered by engine.WriteMetrics, and the
+// standard net/http/pprof profiling handlers under /debug/pprof/. It is
+// opt-in — nothing listens unless a cmd tool is started with -listen —
+// and it registers on a private mux, never on http.DefaultServeMux, so
+// importing this package has no global side effects.
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/engine"
+)
+
+// Handler returns an http.Handler serving the engine's observability
+// endpoints:
+//
+//	/metrics            Prometheus text exposition (v0.0.4)
+//	/debug/pprof/       pprof index, plus cmdline, profile, symbol, trace
+func Handler(eng *engine.Engine) http.Handler {
+	return DynamicHandler(func() *engine.Engine { return eng })
+}
+
+// DynamicHandler is Handler for a moving target: current resolves the
+// engine per request, so a tool that builds a fresh engine per
+// experiment (cmd/aibench) can expose whichever one is running. A nil
+// engine turns /metrics into 503; pprof always works — it profiles the
+// process, not an engine.
+func DynamicHandler(current func() *engine.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		eng := current()
+		if eng == nil {
+			http.Error(w, "no engine running", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := eng.WriteMetrics(w); err != nil {
+			// Headers are already out; nothing useful to do but stop.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. "localhost:9090", or ":0" for an ephemeral
+// port) and serves Handler(eng) on it in a background goroutine. It
+// returns the server and the bound address so callers can print where
+// the endpoints landed; shut down with srv.Close or srv.Shutdown.
+func Serve(addr string, eng *engine.Engine) (*http.Server, string, error) {
+	return serve(addr, Handler(eng))
+}
+
+// ServeDynamic is Serve over a DynamicHandler.
+func ServeDynamic(addr string, current func() *engine.Engine) (*http.Server, string, error) {
+	return serve(addr, DynamicHandler(current))
+}
+
+func serve(addr string, h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go func() {
+		// ErrServerClosed (and any late accept error) is deliberate
+		// shutdown noise; the process-level caller owns the lifecycle.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr().String(), nil
+}

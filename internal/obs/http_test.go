@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+func newEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.Config{})
+	schema := storage.MustSchema(storage.Column{Name: "a", Kind: storage.KindInt64})
+	tb, err := e.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 200; i++ {
+		if _, err := tb.Insert(storage.NewTuple(storage.Int64Value(i % 50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.CreatePartialIndex(0, index.IntRange(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tb.QueryEqual(0, storage.Int64Value(5)); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, _, err := tb.QueryEqual(0, storage.Int64Value(30)); err != nil { // miss
+		t.Fatal(err)
+	}
+	return e
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := Handler(newEngine(t))
+	resp, body := get(t, h, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"aib_shared_scan_misses_total 1",
+		`aib_queries_total{table="t",column="a"} 2`,
+		`aib_query_latency_microseconds_count{mechanism="hit"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, body)
+		}
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	h := Handler(newEngine(t))
+	resp, body := get(t, h, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", newEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "aib_space_entries_used") {
+		t.Errorf("GET /metrics over TCP: status %d, body %.200s", resp.StatusCode, body)
+	}
+}

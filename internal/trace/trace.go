@@ -1,9 +1,17 @@
 // Package trace implements query monitoring: a bounded ring of recent
-// query outcomes plus per-column aggregates (hit rates, page costs,
-// buffer effectiveness). It is the observability layer a DBA would use
-// to see whether the Index Buffer is earning its memory — the engine
-// records into an attached Tracer, the shell exposes it as SHOW STATS,
-// and the facade as DB.TraceReport.
+// query outcomes, per-column aggregates (hit rates, page costs, buffer
+// effectiveness, mean wall-clock), per-mechanism latency histograms,
+// and — opt-in — a ring of structured span events emitted by the
+// adaptive machinery (miss admission, shared-scan batching, Algorithm-2
+// page selection, displacement, C[p]→0 transitions). It is the
+// observability layer a DBA would use to see whether the Index Buffer
+// is earning its memory — the engine records into an attached Tracer,
+// the shell exposes it as SHOW STATS, the facade as DB.TraceReport /
+// DB.TraceEvents, and the HTTP endpoint as /metrics.
+//
+// Every method is safe for concurrent use. Span emission is gated by a
+// single atomic load and is allocation-free while disabled, so the
+// tracer can stay attached to a production engine at ~zero cost.
 package trace
 
 import (
@@ -11,15 +19,17 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
+	"repro/internal/metrics"
 )
 
 // Event is one recorded query outcome.
 type Event struct {
 	Table      string
 	Column     string
-	Mechanism  string // "hit", "indexing-scan", "full-scan"
+	Mechanism  string // "hit", "indexing-scan", "full-scan", "shared-follower"
 	PagesRead  int
 	Skipped    int
 	Matches    int
@@ -52,6 +62,14 @@ func (a Aggregate) MeanPages() float64 {
 	return float64(a.PagesRead) / float64(a.Queries)
 }
 
+// MeanWallMicros returns mean wall-clock microseconds per query.
+func (a Aggregate) MeanWallMicros() float64 {
+	if a.Queries == 0 {
+		return 0
+	}
+	return float64(a.WallMicros) / float64(a.Queries)
+}
+
 // SkipShare returns the fraction of touched pages that were skipped.
 func (a Aggregate) SkipShare() float64 {
 	total := a.PagesRead + a.PagesSkipped
@@ -61,24 +79,82 @@ func (a Aggregate) SkipShare() float64 {
 	return float64(a.PagesSkipped) / float64(total)
 }
 
-// Tracer records query events. Safe for concurrent use.
+// Span kinds, in the order the adaptive machinery emits them. The core
+// package emits SpanPageSelect and SpanDisplace through its Observer
+// interface using these literal strings (it cannot import this package).
+const (
+	// SpanMissAdmit: a query missed the partial index and entered the
+	// scan-sharing admission layer. N is 0.
+	SpanMissAdmit = "miss-admit"
+	// SpanScanAttach: a query joined another query's forming batch
+	// instead of leading its own scan. N is 0.
+	SpanScanAttach = "scan-attach"
+	// SpanScanLead: a batch leader sealed its batch and is about to run
+	// one shared Algorithm-1 pass. N is the batch size.
+	SpanScanLead = "scan-lead"
+	// SpanPageSelect: Algorithm 2 chose the page set I for a scan.
+	// N is |I|.
+	SpanPageSelect = "page-select"
+	// SpanDisplace: a victim partition was dropped from Target's buffer
+	// on behalf of another buffer's scan. N is the entries released.
+	SpanDisplace = "displace"
+	// SpanPageComplete: an indexing scan finished buffering a page — the
+	// C[p]→0 transition that makes the page skippable. Page is the page,
+	// N the entries added for it.
+	SpanPageComplete = "page-complete"
+)
+
+// Span is one structured event from the adaptive machinery. Seq is a
+// monotonic sequence number over the tracer's lifetime (it survives
+// Reset), so consumers can order spans across ring snapshots and detect
+// drops.
+type Span struct {
+	Seq    uint64
+	Kind   string // one of the Span* constants
+	Target string // buffer name, "table.column"
+	Page   int    // page id for page-scoped kinds, else -1
+	N      int    // kind-specific count payload (see the constants)
+}
+
+// Tracer records query events and span events. Safe for concurrent use.
 type Tracer struct {
 	mu     sync.Mutex
 	ring   []Event
 	next   int
 	filled int
-	aggs   map[string]*Aggregate // keyed by table+"."+column
+	aggs   map[string]*Aggregate         // keyed by table+"."+column
+	lat    map[string]*metrics.Histogram // per-mechanism latency (µs)
+
+	spansOn atomic.Bool   // gate checked before any span work
+	seq     atomic.Uint64 // monotonic span sequence, survives Reset
+
+	spanMu     sync.Mutex
+	spans      []Span
+	spanNext   int
+	spanFilled int
 }
 
-// New creates a tracer keeping the last capacity events (min 1).
+// latReservoir bounds each mechanism's latency histogram so a
+// long-running engine keeps constant tracer memory; quantiles become
+// sampled estimates past this many observations per mechanism.
+const latReservoir = 4096
+
+// New creates a tracer keeping the last capacity query events and the
+// last capacity span events (min 1 each).
 func New(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{ring: make([]Event, capacity), aggs: make(map[string]*Aggregate)}
+	return &Tracer{
+		ring:  make([]Event, capacity),
+		spans: make([]Span, capacity),
+		aggs:  make(map[string]*Aggregate),
+		lat:   make(map[string]*metrics.Histogram),
+	}
 }
 
-// Record ingests one query outcome.
+// Record ingests one query outcome, deriving the mechanism from the
+// stats: partial-index hit, full scan, or indexing scan.
 func (t *Tracer) Record(table, column string, stats exec.QueryStats) {
 	mech := "indexing-scan"
 	switch {
@@ -87,6 +163,24 @@ func (t *Tracer) Record(table, column string, stats exec.QueryStats) {
 	case stats.FullScan:
 		mech = "full-scan"
 	}
+	t.record(table, column, mech, stats)
+}
+
+// RecordFollower ingests the outcome of a query that rode along on
+// another query's shared scan. A follower whose predicate was served by
+// the partial index (re-dispatch after an index redefinition) still
+// counts as a hit; any scanning outcome is attributed to the
+// "shared-follower" mechanism so its latency — dominated by waiting on
+// the leader — does not distort the indexing-scan histogram.
+func (t *Tracer) RecordFollower(table, column string, stats exec.QueryStats) {
+	mech := "shared-follower"
+	if stats.PartialHit {
+		mech = "hit"
+	}
+	t.record(table, column, mech, stats)
+}
+
+func (t *Tracer) record(table, column, mech string, stats exec.QueryStats) {
 	ev := Event{
 		Table:      table,
 		Column:     column,
@@ -116,12 +210,23 @@ func (t *Tracer) Record(table, column string, stats exec.QueryStats) {
 	a.PagesRead += uint64(stats.PagesRead)
 	a.PagesSkipped += uint64(stats.PagesSkipped)
 	a.WallMicros += uint64(ev.WallMicros)
+
+	h := t.lat[mech]
+	if h == nil {
+		h = metrics.NewReservoirHistogram(latReservoir, int64(len(t.lat)+1))
+		t.lat[mech] = h
+	}
+	h.Observe(float64(ev.WallMicros))
 }
 
-// Recent returns up to n most-recent events, newest first.
+// Recent returns up to n most-recent events, newest first. n < 0 is
+// treated as 0 (historically this panicked on the negative make cap).
 func (t *Tracer) Recent(n int) []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
 	if n > t.filled {
 		n = t.filled
 	}
@@ -149,12 +254,89 @@ func (t *Tracer) Aggregates() []Aggregate {
 	return out
 }
 
-// Reset clears all recorded state.
+// MechanismLatency is one mechanism's latency summary in microseconds.
+type MechanismLatency struct {
+	Mechanism string
+	metrics.HistogramStats
+}
+
+// LatencyStats returns per-mechanism latency summaries sorted by
+// mechanism name.
+func (t *Tracer) LatencyStats() []MechanismLatency {
+	t.mu.Lock()
+	hists := make(map[string]*metrics.Histogram, len(t.lat))
+	for m, h := range t.lat {
+		hists[m] = h
+	}
+	t.mu.Unlock()
+	out := make([]MechanismLatency, 0, len(hists))
+	for m, h := range hists {
+		out = append(out, MechanismLatency{Mechanism: m, HistogramStats: h.Stats()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Mechanism < out[j].Mechanism })
+	return out
+}
+
+// EnableSpans turns span-event recording on or off. Off (the default)
+// makes Span a single atomic load — no lock, no allocation — so the
+// instrumented hot paths cost ~nothing in production.
+func (t *Tracer) EnableSpans(on bool) { t.spansOn.Store(on) }
+
+// SpansEnabled reports whether span events are being recorded. Callers
+// that must build a span's arguments (closures, name formatting) should
+// check it first to keep the disabled path allocation-free.
+func (t *Tracer) SpansEnabled() bool { return t.spansOn.Load() }
+
+// Span records one span event into the span ring, stamping it with the
+// next monotonic sequence number. A no-op while spans are disabled.
+func (t *Tracer) Span(kind, target string, page, n int) {
+	if !t.spansOn.Load() {
+		return
+	}
+	sp := Span{Seq: t.seq.Add(1), Kind: kind, Target: target, Page: page, N: n}
+	t.spanMu.Lock()
+	t.spans[t.spanNext] = sp
+	t.spanNext = (t.spanNext + 1) % len(t.spans)
+	if t.spanFilled < len(t.spans) {
+		t.spanFilled++
+	}
+	t.spanMu.Unlock()
+}
+
+// Spans returns up to n most-recent span events, newest first (n < 0 is
+// treated as 0, like Recent).
+func (t *Tracer) Spans(n int) []Span {
+	t.spanMu.Lock()
+	defer t.spanMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n > t.spanFilled {
+		n = t.spanFilled
+	}
+	out := make([]Span, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, t.spans[(t.spanNext-i+len(t.spans))%len(t.spans)])
+	}
+	return out
+}
+
+// SpanCount returns the number of span events ever emitted (the last
+// assigned sequence number); it keeps counting across Reset.
+func (t *Tracer) SpanCount() uint64 { return t.seq.Load() }
+
+// Reset clears all recorded state (events, aggregates, latency
+// histograms, span ring). The span sequence number keeps counting so
+// pre- and post-Reset spans remain ordered.
 func (t *Tracer) Reset() {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.next, t.filled = 0, 0
 	t.aggs = make(map[string]*Aggregate)
+	t.lat = make(map[string]*metrics.Histogram)
+	t.mu.Unlock()
+	t.spanMu.Lock()
+	t.spanNext, t.spanFilled = 0, 0
+	t.spanMu.Unlock()
 }
 
 // Report renders the aggregates as an aligned text table.
@@ -164,10 +346,10 @@ func (t *Tracer) Report() string {
 		return "no queries recorded"
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-20s %8s %8s %12s %10s\n", "column", "queries", "hit%", "pages/query", "skip%")
+	fmt.Fprintf(&sb, "%-20s %8s %8s %12s %10s %12s\n", "column", "queries", "hit%", "pages/query", "skip%", "µs/query")
 	for _, a := range aggs {
-		fmt.Fprintf(&sb, "%-20s %8d %7.1f%% %12.1f %9.1f%%\n",
-			a.Table+"."+a.Column, a.Queries, 100*a.HitRate(), a.MeanPages(), 100*a.SkipShare())
+		fmt.Fprintf(&sb, "%-20s %8d %7.1f%% %12.1f %9.1f%% %12.1f\n",
+			a.Table+"."+a.Column, a.Queries, 100*a.HitRate(), a.MeanPages(), 100*a.SkipShare(), a.MeanWallMicros())
 	}
 	return strings.TrimRight(sb.String(), "\n")
 }

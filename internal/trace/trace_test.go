@@ -113,6 +113,192 @@ func TestTracerConcurrent(t *testing.T) {
 	}
 }
 
+// TestTracerStress hammers every tracer entry point — including Reset
+// and the span ring — from parallel goroutines; under -race this is the
+// monitor-correctness stress test CI runs.
+func TestTracerStress(t *testing.T) {
+	tr := New(32)
+	tr.EnableSpans(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				switch i % 6 {
+				case 0:
+					tr.Record("t", "a", stats(i%2 == 0, false, 2, 1, 1))
+				case 1:
+					tr.RecordFollower("t", "a", stats(false, false, 2, 1, 1))
+				case 2:
+					tr.Span(SpanMissAdmit, "t.a", -1, 0)
+					_ = tr.Spans(10)
+				case 3:
+					_ = tr.Recent(7)
+					_ = tr.Aggregates()
+				case 4:
+					_ = tr.LatencyStats()
+					_ = tr.Report()
+				case 5:
+					if g == 0 {
+						tr.Reset()
+					} else {
+						_ = tr.SpanCount()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Sequence numbers stay monotonic across concurrent Resets.
+	spans := tr.Spans(32)
+	for i := 1; i < len(spans); i++ {
+		if spans[i-1].Seq <= spans[i].Seq {
+			t.Fatalf("spans not newest-first monotonic: %d then %d", spans[i-1].Seq, spans[i].Seq)
+		}
+	}
+}
+
+// TestRecentNegative is the regression test for the Recent(n < 0) panic
+// (negative cap passed to make).
+func TestRecentNegative(t *testing.T) {
+	tr := New(4)
+	tr.Record("t", "a", stats(false, false, 1, 0, 0))
+	if got := tr.Recent(-1); len(got) != 0 {
+		t.Errorf("Recent(-1) = %d events, want 0", len(got))
+	}
+	if got := tr.Spans(-3); len(got) != 0 {
+		t.Errorf("Spans(-3) = %d spans, want 0", len(got))
+	}
+}
+
+// TestReportMeanMicros covers the µs/query column: WallMicros was
+// historically accumulated into the aggregate but never surfaced.
+func TestReportMeanMicros(t *testing.T) {
+	tr := New(8)
+	tr.Record("t", "a", stats(true, false, 1, 0, 0)) // 3ms each
+	tr.Record("t", "a", stats(true, false, 1, 0, 0))
+	a := tr.Aggregates()[0]
+	if got := a.MeanWallMicros(); got != 3000 {
+		t.Errorf("MeanWallMicros = %v, want 3000", got)
+	}
+	rep := tr.Report()
+	if !strings.Contains(rep, "µs/query") {
+		t.Errorf("report missing µs/query header: %q", rep)
+	}
+	if !strings.Contains(rep, "3000.0") {
+		t.Errorf("report missing mean latency value: %q", rep)
+	}
+}
+
+func TestLatencyStatsPerMechanism(t *testing.T) {
+	tr := New(8)
+	tr.Record("t", "a", stats(true, false, 1, 0, 0))  // hit
+	tr.Record("t", "a", stats(false, false, 5, 0, 0)) // indexing-scan
+	tr.Record("t", "b", stats(false, true, 9, 0, 0))  // full-scan
+	tr.RecordFollower("t", "a", stats(false, false, 5, 0, 0))
+	tr.RecordFollower("t", "a", stats(true, false, 1, 0, 0)) // follower served as hit
+
+	ls := tr.LatencyStats()
+	got := map[string]int{}
+	for _, l := range ls {
+		got[l.Mechanism] = l.Count
+		if l.Count > 0 && l.P50 != 3000 {
+			t.Errorf("%s p50 = %v, want 3000", l.Mechanism, l.P50)
+		}
+	}
+	want := map[string]int{"hit": 2, "indexing-scan": 1, "full-scan": 1, "shared-follower": 1}
+	for m, n := range want {
+		if got[m] != n {
+			t.Errorf("mechanism %q count = %d, want %d (all: %v)", m, got[m], n, got)
+		}
+	}
+}
+
+func TestSpansDisabledByDefault(t *testing.T) {
+	tr := New(8)
+	tr.Span(SpanMissAdmit, "t.a", -1, 0)
+	if got := tr.Spans(10); len(got) != 0 {
+		t.Errorf("spans recorded while disabled: %v", got)
+	}
+	if tr.SpansEnabled() {
+		t.Error("spans enabled by default")
+	}
+	if tr.SpanCount() != 0 {
+		t.Errorf("SpanCount = %d while disabled", tr.SpanCount())
+	}
+}
+
+func TestSpanRingOrderAndWrap(t *testing.T) {
+	tr := New(3)
+	tr.EnableSpans(true)
+	for i := 1; i <= 5; i++ {
+		tr.Span(SpanPageComplete, "t.a", i, i*10)
+	}
+	got := tr.Spans(10)
+	if len(got) != 3 {
+		t.Fatalf("spans = %d, want 3", len(got))
+	}
+	// Newest first: pages 5, 4, 3 with seq 5, 4, 3.
+	for i, want := range []int{5, 4, 3} {
+		if got[i].Page != want || got[i].Seq != uint64(want) || got[i].N != want*10 {
+			t.Errorf("spans[%d] = %+v, want page/seq %d", i, got[i], want)
+		}
+		if got[i].Kind != SpanPageComplete || got[i].Target != "t.a" {
+			t.Errorf("spans[%d] = %+v", i, got[i])
+		}
+	}
+	if tr.SpanCount() != 5 {
+		t.Errorf("SpanCount = %d, want 5", tr.SpanCount())
+	}
+	// Reset clears the ring but the sequence keeps counting.
+	tr.Reset()
+	if len(tr.Spans(10)) != 0 {
+		t.Error("Reset did not clear spans")
+	}
+	tr.Span(SpanMissAdmit, "t.a", -1, 0)
+	if got := tr.Spans(1); len(got) != 1 || got[0].Seq != 6 {
+		t.Errorf("post-Reset span = %+v, want seq 6", got)
+	}
+}
+
+// TestSpanDisabledZeroAlloc pins the overhead contract: with spans
+// disabled, Span is one atomic load and allocates nothing.
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	tr := New(8)
+	if avg := testing.AllocsPerRun(200, func() {
+		tr.Span(SpanPageSelect, "t.a", -1, 12)
+	}); avg != 0 {
+		t.Errorf("disabled Span allocates %v per call, want 0", avg)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	tr := New(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(SpanMissAdmit, "t.a", -1, 0)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New(512)
+	tr.EnableSpans(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(SpanMissAdmit, "t.a", -1, 0)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	tr := New(512)
+	st := stats(true, false, 3, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record("t", "a", st)
+	}
+}
+
 func TestCapacityClamp(t *testing.T) {
 	tr := New(0)
 	tr.Record("t", "a", stats(false, false, 1, 0, 0))

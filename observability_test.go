@@ -1,0 +1,128 @@
+package repro
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newObsDB builds a small database with a partial index and runs a hit
+// and a miss so every monitor has data.
+func newObsDB(t *testing.T) *DB {
+	t.Helper()
+	db := MustOpen(Options{})
+	tb, err := db.CreateTable("t", Int64Column("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := tb.Insert(int64(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.CreatePartialRangeIndex("a", 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tb.Query("a", 5); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, _, err := tb.Query("a", 60); err != nil { // miss: indexing scan
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestDBTraceEvents(t *testing.T) {
+	db := MustOpen(Options{})
+	tb, err := db.CreateTable("t", Int64Column("a"), Int64Column("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := tb.Insert(int64(i%100), int64(i%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.CreatePartialRangeIndex("a", 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CreatePartialRangeIndex("b", 0, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := tb.Query("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(db.TraceEvents()); n != 0 {
+		t.Fatalf("%d trace events recorded while disabled", n)
+	}
+
+	// The miss on b runs a fresh indexing scan, so the enabled path sees
+	// the full span sequence: admission, leadership, page selection and
+	// page completion.
+	db.EnableTraceEvents(true)
+	if _, _, err := tb.Query("b", 70); err != nil {
+		t.Fatal(err)
+	}
+	events := db.TraceEvents()
+	if len(events) == 0 {
+		t.Fatal("no trace events after EnableTraceEvents(true)")
+	}
+	kinds := make(map[string]bool)
+	for _, ev := range events {
+		kinds[ev.Kind] = true
+		if ev.Seq == 0 {
+			t.Error("span with zero sequence number")
+		}
+	}
+	for _, want := range []string{"miss-admit", "scan-lead", "page-select", "page-complete"} {
+		if !kinds[want] {
+			t.Errorf("missing span kind %q (got %v)", want, kinds)
+		}
+	}
+}
+
+func TestDBLatencyStats(t *testing.T) {
+	db := newObsDB(t)
+	byMech := make(map[string]int)
+	for _, l := range db.LatencyStats() {
+		byMech[l.Mechanism] = l.Count
+	}
+	if byMech["hit"] != 1 || byMech["indexing-scan"] != 1 {
+		t.Errorf("latency counts = %v, want one hit and one indexing-scan", byMech)
+	}
+}
+
+func TestDBMetricsHandler(t *testing.T) {
+	db := newObsDB(t)
+
+	var sb strings.Builder
+	if err := db.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "aib_shared_scan_misses_total 1") {
+		t.Errorf("WriteMetrics output missing shared-scan counter:\n%s", sb.String())
+	}
+
+	srv := httptest.NewServer(db.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{
+		`aib_queries_total{table="t",column="a"} 2`,
+		`aib_buffer_entries{buffer="t.a"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, body)
+		}
+	}
+}
