@@ -69,6 +69,15 @@ type Options struct {
 	SpaceLimit int
 	// PoolPages is the buffer-pool capacity per table.
 	PoolPages int
+	// ScanParallelism bounds the worker pool every table-scan stage
+	// (indexing scans and full scans) fans out to: 1 forces the serial
+	// scan, n > 1 splits the page range into contiguous chunks read by at
+	// most n goroutines, and 0 (the default) uses GOMAXPROCS. Query
+	// results, QueryStats, and Index Buffer state are identical across
+	// settings — parallelism changes wall-clock time only. Each worker
+	// pins one buffer-pool page, so keep PoolPages comfortably above the
+	// parallelism.
+	ScanParallelism int
 	// Structure selects the buffer's index structure.
 	Structure Structure
 	// Seed drives the benefit-weighted random victim selection.
@@ -165,6 +174,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("repro: Options.SpaceLimit %d is negative", o.SpaceLimit)
 	case o.PoolPages < 0:
 		return fmt.Errorf("repro: Options.PoolPages %d is negative", o.PoolPages)
+	case o.ScanParallelism < 0:
+		return fmt.Errorf("repro: Options.ScanParallelism %d is negative", o.ScanParallelism)
 	}
 	switch o.Structure {
 	case BTree, CSBTree, HashTable:
@@ -177,10 +188,11 @@ func (o Options) validate() error {
 // engineConfig maps public options to the engine configuration.
 func engineConfig(o Options) engine.Config {
 	cfg := engine.Config{
-		PoolPages:    o.PoolPages,
-		DataDir:      o.DataDir,
-		ReadLatency:  o.ReadLatency,
-		WriteLatency: o.WriteLatency,
+		PoolPages:       o.PoolPages,
+		ScanParallelism: o.ScanParallelism,
+		DataDir:         o.DataDir,
+		ReadLatency:     o.ReadLatency,
+		WriteLatency:    o.WriteLatency,
 		Space: core.Config{
 			IMax:         o.IMax,
 			P:            o.PartitionPages,
@@ -561,6 +573,14 @@ type SharedScanStats = metrics.SharedScanStats
 
 // SharedScanStats reads the database-wide scan-sharing counters.
 func (db *DB) SharedScanStats() SharedScanStats { return db.eng.SharedScanStats() }
+
+// ParallelScanStats reports the parallel scan-execution counters: how
+// many table-scan stages fanned out to more than one worker and the
+// total workers they used; see metrics.ParallelScanStats.
+type ParallelScanStats = metrics.ParallelScanStats
+
+// ParallelScanStats reads the database-wide parallel-scan counters.
+func (db *DB) ParallelScanStats() ParallelScanStats { return db.eng.ParallelScanStats() }
 
 // TraceReport renders per-column query statistics — queries, hit rate,
 // mean pages per query, the share of pages the Index Buffer let scans

@@ -608,6 +608,49 @@ func BenchmarkSharedScan(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelScan measures parallel table-scan execution on the
+// Fig. 6 miss workload: every query misses the partial index and pays an
+// indexing scan, which the parallel path splits across a worker pool.
+// serial (parallelism=1) is the baseline; parallel uses 4 workers. The
+// uncontended pair isolates single-scan speedup, the contended pair runs
+// 4 client goroutines so parallel workers compose with scan-sharing
+// admission. Simulated read latency makes scans device-bound — worker
+// sleeps overlap even on one core, so the speedup shows on any runner.
+func BenchmarkParallelScan(b *testing.B) {
+	for _, c := range []struct {
+		name        string
+		parallelism int
+		goroutines  int
+	}{
+		{"serial/uncontended", 1, 1},
+		{"parallel/uncontended", 4, 1},
+		{"serial/contended", 1, 4},
+		{"parallel/contended", 4, 4},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunParallelScan(bench.ParallelScanOptions{
+					Options: bench.Options{
+						Rows:            3000,
+						Queries:         12,
+						Seed:            5,
+						PoolPages:       64,
+						ReadLatency:     100 * time.Microsecond,
+						ScanParallelism: c.parallelism,
+					},
+					Goroutines: c.goroutines,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.ParallelScans > 0 {
+					b.ReportMetric(float64(r.Workers)/float64(r.ParallelScans), "workers/scan")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkChurn runs the mixed query/DML extension experiment,
 // reporting the second-half query cost — the buffer's benefit surviving
 // Table I maintenance churn.

@@ -68,6 +68,11 @@ type Options struct {
 	// a sleep so the wall-clock series (Fig. 6's WallMicros) take the
 	// shape of the paper's per-query milliseconds.
 	ReadLatency time.Duration
+
+	// ScanParallelism bounds the worker fan-out of every table-scan
+	// stage: 1 forces the serial scan, 0 uses GOMAXPROCS. Results are
+	// identical across settings; only wall-clock time changes.
+	ScanParallelism int
 }
 
 // paper-scale constants; see §V.
@@ -119,6 +124,7 @@ func setup(o Options, spaceCfg core.Config, columns int, disableBuffer bool) (*e
 	}
 	eng := engine.New(engine.Config{
 		PoolPages:          o.PoolPages,
+		ScanParallelism:    o.ScanParallelism,
 		Space:              spaceCfg,
 		DisableIndexBuffer: disableBuffer,
 		ReadLatency:        o.ReadLatency,

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// runPS is a shorthand for one RunParallelScan pass at the given
+// parallelism, small enough to run in the ordinary test suite.
+func runPS(t *testing.T, parallelism, goroutines int, latency time.Duration) *ParallelScanResult {
+	t.Helper()
+	r, err := RunParallelScan(ParallelScanOptions{
+		Options: Options{
+			Rows:            1000,
+			Queries:         4,
+			Seed:            7,
+			PoolPages:       32,
+			ReadLatency:     latency,
+			ScanParallelism: parallelism,
+		},
+		Goroutines: goroutines,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestParallelScanCounters checks the runner's attribution: serial runs
+// never report a fanned-out scan, parallel runs report at least one with
+// more than one worker per scan on average.
+func TestParallelScanCounters(t *testing.T) {
+	if s := runPS(t, 1, 1, 0); s.ParallelScans != 0 {
+		t.Errorf("serial run reported %d parallel scans", s.ParallelScans)
+	}
+	p := runPS(t, 4, 1, 0)
+	if p.ParallelScans == 0 {
+		t.Fatal("parallel run reported no fanned-out scans")
+	}
+	if p.Workers <= p.ParallelScans {
+		t.Errorf("workers %d not above scans %d: mean fan-out <= 1", p.Workers, p.ParallelScans)
+	}
+}
+
+// TestParallelScanSpeedup pins the point of the whole exercise: with
+// device-bound scans (simulated read latency), the parallel path beats
+// the serial one on wall-clock time. The latency sleeps overlap across
+// workers even on a single-core runner, so this holds regardless of
+// GOMAXPROCS; the 3/4 bound is loose enough to absorb scheduler noise
+// (the expected ratio at 8 workers is well under 1/2).
+func TestParallelScanSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock speedup test")
+	}
+	const latency = 2 * time.Millisecond
+	serial := runPS(t, 1, 1, latency)
+	parallel := runPS(t, 8, 1, latency)
+	if parallel.Wall >= serial.Wall*3/4 {
+		t.Errorf("parallel wall %v not under 3/4 of serial wall %v", parallel.Wall, serial.Wall)
+	}
+}

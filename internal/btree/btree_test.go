@@ -13,6 +13,7 @@ func iv(v int64) storage.Value { return storage.Int64Value(v) }
 func rid(p, s int) storage.RID { return storage.RID{Page: storage.PageID(p), Slot: uint16(s)} }
 
 func TestNewPanicsOnTinyOrder(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("order < 4 should panic")
@@ -22,6 +23,7 @@ func TestNewPanicsOnTinyOrder(t *testing.T) {
 }
 
 func TestInsertLookupBasic(t *testing.T) {
+	t.Parallel()
 	tr := New(4)
 	if !tr.Insert(iv(10), rid(1, 0)) {
 		t.Error("first insert should report added")
@@ -48,6 +50,7 @@ func TestInsertLookupBasic(t *testing.T) {
 }
 
 func TestInsertInvalidKeyPanics(t *testing.T) {
+	t.Parallel()
 	tr := NewDefault()
 	defer func() {
 		if recover() == nil {
@@ -58,6 +61,7 @@ func TestInsertInvalidKeyPanics(t *testing.T) {
 }
 
 func TestPostingStaysRIDSorted(t *testing.T) {
+	t.Parallel()
 	tr := New(4)
 	rids := []storage.RID{rid(5, 1), rid(1, 2), rid(3, 0), rid(1, 0), rid(5, 0)}
 	for _, r := range rids {
@@ -72,6 +76,7 @@ func TestPostingStaysRIDSorted(t *testing.T) {
 }
 
 func TestSplitsAndOrderedIteration(t *testing.T) {
+	t.Parallel()
 	tr := New(4) // tiny order forces deep trees
 	const n = 1000
 	perm := rand.New(rand.NewSource(3)).Perm(n)
@@ -103,6 +108,7 @@ func TestSplitsAndOrderedIteration(t *testing.T) {
 }
 
 func TestAscendEarlyStop(t *testing.T) {
+	t.Parallel()
 	tr := New(4)
 	for k := 0; k < 100; k++ {
 		tr.Insert(iv(int64(k)), rid(k, 0))
@@ -118,6 +124,7 @@ func TestAscendEarlyStop(t *testing.T) {
 }
 
 func TestAscendRange(t *testing.T) {
+	t.Parallel()
 	tr := New(4)
 	for k := 0; k < 100; k += 2 { // even keys only
 		tr.Insert(iv(int64(k)), rid(k, 0))
@@ -156,6 +163,7 @@ func TestAscendRange(t *testing.T) {
 }
 
 func TestDeleteBasic(t *testing.T) {
+	t.Parallel()
 	tr := New(4)
 	tr.Insert(iv(1), rid(1, 0))
 	tr.Insert(iv(1), rid(2, 0))
@@ -183,6 +191,7 @@ func TestDeleteBasic(t *testing.T) {
 }
 
 func TestDeleteRebalancing(t *testing.T) {
+	t.Parallel()
 	tr := New(4)
 	const n = 2000
 	for k := 0; k < n; k++ {
@@ -294,6 +303,7 @@ func checkInvariants(t *testing.T, tr *Tree) {
 // TestRandomizedAgainstModel drives the tree with random ops against a
 // map model, checking invariants and content periodically.
 func TestRandomizedAgainstModel(t *testing.T) {
+	t.Parallel()
 	for _, order := range []int{4, 5, 16, 64} {
 		order := order
 		t.Run("order", func(t *testing.T) {
@@ -360,6 +370,7 @@ func TestRandomizedAgainstModel(t *testing.T) {
 }
 
 func TestQuickInsertDeleteRoundTrip(t *testing.T) {
+	t.Parallel()
 	// Property: inserting a batch then deleting it leaves an empty tree,
 	// regardless of key distribution.
 	f := func(keys []int64) bool {
@@ -380,6 +391,7 @@ func TestQuickInsertDeleteRoundTrip(t *testing.T) {
 }
 
 func TestStringKeys(t *testing.T) {
+	t.Parallel()
 	tr := New(4)
 	airports := []string{"ORD", "FRA", "HEL", "JFK", "LAX", "MUC", "TXL", "SFO"}
 	for i, a := range airports {

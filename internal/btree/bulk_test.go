@@ -8,6 +8,7 @@ import (
 )
 
 func TestBulkEmpty(t *testing.T) {
+	t.Parallel()
 	tr := Bulk(8, nil)
 	if tr.Len() != 0 || tr.EntryCount() != 0 {
 		t.Error("empty bulk not empty")
@@ -23,6 +24,7 @@ func TestBulkEmpty(t *testing.T) {
 }
 
 func TestBulkSmall(t *testing.T) {
+	t.Parallel()
 	entries := []Entry{
 		{iv(3), rid(3, 0)},
 		{iv(1), rid(1, 0)},
@@ -51,6 +53,7 @@ func TestBulkSmall(t *testing.T) {
 }
 
 func TestBulkMatchesIncremental(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{1, 3, 63, 64, 65, 1000, 5000} {
 		rng := rand.New(rand.NewSource(int64(n)))
 		var entries []Entry
@@ -94,6 +97,7 @@ func TestBulkMatchesIncremental(t *testing.T) {
 // TestBulkThenMutate verifies the bulk-built structure behaves correctly
 // under subsequent inserts and deletes (structural invariants hold).
 func TestBulkThenMutate(t *testing.T) {
+	t.Parallel()
 	var entries []Entry
 	for i := 0; i < 2000; i++ {
 		entries = append(entries, Entry{iv(int64(i * 2)), rid(i, 0)})

@@ -17,6 +17,13 @@ type Frame struct {
 	pins  int
 	dirty bool
 	lru   *list.Element // position in the pool's eviction list when unpinned
+
+	// ready is non-nil while the frame's store read is in flight: the
+	// loading fetcher closes it once data is populated (or loadErr set),
+	// and concurrent fetchers of the same page wait on it instead of
+	// issuing a second read. A nil ready means the frame is loaded.
+	ready   chan struct{}
+	loadErr error // set before ready is closed when the store read failed
 }
 
 // ID returns the page id held by the frame.
@@ -79,9 +86,15 @@ func (p *Pool) Stats() PoolStats {
 
 // Fetch pins page id into memory and returns its frame. Every Fetch must
 // be paired with an Unpin.
+//
+// The store read of a miss happens outside the pool mutex: concurrent
+// fetches of distinct cold pages overlap their device I/O (the property
+// parallel scans depend on — a pool-wide lock held across a simulated
+// device's read latency would serialize every worker). Concurrent
+// fetches of the same cold page coalesce: the first issues the read,
+// the rest wait on the frame's ready channel and share the result.
 func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 
 	if f, ok := p.frames[id]; ok {
 		p.stats.Hits++
@@ -89,21 +102,47 @@ func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 			p.evict.Remove(f.lru)
 			f.lru = nil
 		}
-		f.pins++
+		f.pins++ // pin before waiting so the loading frame cannot be evicted
+		ready := f.ready
+		p.mu.Unlock()
+		if ready != nil {
+			<-ready
+			// loadErr is published before ready is closed; the channel
+			// receive orders this read after that write.
+			if f.loadErr != nil {
+				return nil, f.loadErr
+			}
+		}
 		return f, nil
 	}
 
 	p.stats.Misses++
 	if len(p.frames) >= p.capacity {
 		if err := p.evictOneLocked(); err != nil {
+			p.mu.Unlock()
 			return nil, err
 		}
 	}
-	f := &Frame{id: id, data: make([]byte, PageSize), pins: 1}
-	if err := p.store.Read(id, f.data); err != nil {
+	f := &Frame{id: id, data: make([]byte, PageSize), pins: 1, ready: make(chan struct{})}
+	p.frames[id] = f
+	p.mu.Unlock()
+
+	err := p.store.Read(id, f.data)
+
+	p.mu.Lock()
+	if err != nil {
+		// Orphan the frame: waiters already holding a pin observe loadErr
+		// and return it; the frame is no longer reachable or evictable.
+		f.loadErr = err
+		delete(p.frames, id)
+	}
+	ready := f.ready
+	f.ready = nil
+	p.mu.Unlock()
+	close(ready)
+	if err != nil {
 		return nil, err
 	}
-	p.frames[id] = f
 	return f, nil
 }
 

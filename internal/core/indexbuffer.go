@@ -233,6 +233,10 @@ func (b *IndexBuffer) LookupRange(lo, hi storage.Value) []storage.RID {
 func (b *IndexBuffer) BeginPage(p storage.PageID) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.beginPageLocked(p)
+}
+
+func (b *IndexBuffer) beginPageLocked(p storage.PageID) error {
 	if _, dup := b.byPage[p]; dup {
 		return fmt.Errorf("core: page %d already buffered in %s", p, b.name)
 	}
@@ -258,6 +262,34 @@ func (b *IndexBuffer) AddEntry(p storage.PageID, key storage.Value, rid storage.
 	}
 	if part.structure.Insert(key, rid) {
 		b.space.addUsed(1)
+	}
+	return nil
+}
+
+// ApplyPage is BeginPage plus the page's complete entry set under one
+// lock acquisition: the page is assigned to the filling partition and
+// every entry inserted atomically with respect to concurrent probes. A
+// parallel scan's workers collect each selected page's uncovered tuples
+// off-lock and the ordered merge step applies them here, so readers
+// (Lookup, Counter) never observe a page that is buffered but only
+// partially inserted — the same all-or-nothing view the serial
+// BeginPage/AddEntry loop provides under the table's write lock, without
+// per-entry lock traffic.
+func (b *IndexBuffer) ApplyPage(p storage.PageID, entries []PageEntry) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.beginPageLocked(p); err != nil {
+		return err
+	}
+	part := b.byPage[p]
+	added := 0
+	for _, e := range entries {
+		if part.structure.Insert(e.Key, e.RID) {
+			added++
+		}
+	}
+	if added > 0 {
+		b.space.addUsed(added)
 	}
 	return nil
 }

@@ -50,6 +50,15 @@ type Config struct {
 	// rand); see core.Config.
 	Space core.Config
 
+	// ScanParallelism bounds the worker pool of every table-scan stage
+	// (indexing scans and full scans): 1 forces the serial path, n > 1
+	// fans page-range chunks out to at most n goroutines, 0 defaults to
+	// GOMAXPROCS. Results and Index Buffer state are identical across
+	// settings; see exec's parallel scan. Parallel scans pin one pool
+	// page per worker, so PoolPages should comfortably exceed the
+	// parallelism.
+	ScanParallelism int
+
 	// DisableIndexBuffer turns the Index Buffer machinery off: partial
 	// index misses degrade to full table scans. This is the paper's
 	// baseline system.
@@ -79,7 +88,24 @@ type Engine struct {
 	tables map[string]*Table
 	tracer *trace.Tracer
 
-	sharedScans metrics.SharedScanCounters
+	sharedScans   metrics.SharedScanCounters
+	parallelScans metrics.ParallelScanCounters
+}
+
+// ParallelScanStats reads the engine-wide parallel-scan counters: how
+// many table-scan stages fanned out to more than one worker and the
+// total workers they used.
+func (e *Engine) ParallelScanStats() metrics.ParallelScanStats {
+	return e.parallelScans.Snapshot()
+}
+
+// noteScanWorkers attributes one executed scan's fan-out to the
+// engine-wide counters. Serial scans (0 or 1 workers) are not counted.
+func (e *Engine) noteScanWorkers(stats exec.QueryStats) {
+	if stats.ScanWorkers > 1 {
+		e.parallelScans.Scans.Add(1)
+		e.parallelScans.Workers.Add(uint64(stats.ScanWorkers))
+	}
 }
 
 // SharedScanStats reads the engine-wide scan-sharing counters: how many
@@ -545,6 +571,7 @@ func (t *Table) QueryEqualCtx(ctx context.Context, column int, key storage.Value
 func (t *Table) runEqual(ctx context.Context, a exec.Access, column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
 	matches, stats, err := exec.Equal(ctx, a, key)
 	if err == nil {
+		t.engine.noteScanWorkers(stats)
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
 	}
 	return matches, stats, err
@@ -582,6 +609,7 @@ func (t *Table) QueryRangeCtx(ctx context.Context, column int, lo, hi storage.Va
 func (t *Table) runRange(ctx context.Context, a exec.Access, column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {
 	matches, stats, err := exec.Range(ctx, a, lo, hi)
 	if err == nil {
+		t.engine.noteScanWorkers(stats)
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
 	}
 	return matches, stats, err
@@ -614,11 +642,12 @@ func (t *Table) accessLocked(column int) (exec.Access, error) {
 		return exec.Access{}, err
 	}
 	a := exec.Access{
-		Table:  t.heap,
-		Column: column,
-		Index:  t.indexes[column],
-		Buffer: t.buffers[column],
-		Space:  t.engine.space,
+		Table:       t.heap,
+		Column:      column,
+		Index:       t.indexes[column],
+		Buffer:      t.buffers[column],
+		Space:       t.engine.space,
+		Parallelism: t.engine.cfg.ScanParallelism,
 	}
 	// The span callback (and the buffer-name string it captures) is built
 	// only while span recording is on, so a disabled tracer costs the

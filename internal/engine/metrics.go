@@ -61,6 +61,13 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	m.head("aib_shared_scan_saved_total", "Scans avoided by sharing (misses - passes).", "counter")
 	m.printf("aib_shared_scan_saved_total %d\n", ss.Saved)
 
+	// Parallel scan-execution counters.
+	ps := e.ParallelScanStats()
+	m.head("aib_parallel_scans_total", "Table-scan stages that fanned out to more than one worker.", "counter")
+	m.printf("aib_parallel_scans_total %d\n", ps.Scans)
+	m.head("aib_parallel_scan_workers_total", "Total workers used across parallel table-scan stages.", "counter")
+	m.printf("aib_parallel_scan_workers_total %d\n", ps.Workers)
+
 	// Index Buffer Space occupancy and management counters.
 	m.head("aib_space_entries_used", "Index Buffer entries currently held across all buffers.", "gauge")
 	m.printf("aib_space_entries_used %d\n", e.space.Used())

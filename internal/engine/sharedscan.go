@@ -154,6 +154,13 @@ func (t *Table) runShared(a exec.Access, column int, attached []*attachedQuery) 
 		qs[i] = exec.SharedQuery{Lo: aq.lo, Hi: aq.hi, Equality: aq.equality, Ctx: aq.ctx}
 	}
 	outs := exec.ExecuteShared(a, qs)
+	// The batch's first scanning query carries the scan-stage fan-out.
+	for _, o := range outs {
+		if o.Stats.ScanWorkers > 0 {
+			t.engine.noteScanWorkers(o.Stats)
+			break
+		}
+	}
 	col := t.schema.Column(column).Name
 	for i, aq := range attached {
 		o := outs[i]

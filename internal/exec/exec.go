@@ -18,6 +18,7 @@ package exec
 
 import (
 	"context"
+	"runtime"
 	"sort"
 	"time"
 
@@ -54,6 +55,12 @@ type QueryStats struct {
 	PagesSelected int // pages newly indexed this scan (|I|)
 	EntriesAdded  int // Index Buffer entries inserted this scan
 
+	// ScanWorkers is the number of goroutines the table-scan stage fanned
+	// out to: 1 for the serial path, >1 when the scan ran in parallel.
+	// Like the maintenance counters, a shared scan attributes it to the
+	// batch's first scanning query. Zero when no table scan ran.
+	ScanWorkers int
+
 	Duration time.Duration
 }
 
@@ -78,12 +85,37 @@ type Access struct {
 	Buffer *core.IndexBuffer
 	Space  *core.Space
 
+	// Parallelism bounds the worker pool of the table-scan stage: 1 (or
+	// a single-page table) runs the serial path, n > 1 fans page-range
+	// chunks out to at most n goroutines, and 0 defaults to GOMAXPROCS.
+	// Results, stats, and buffer maintenance are bit-identical across
+	// settings; see parallel.go for the execution scheme.
+	Parallelism int
+
 	// Span, when non-nil, receives span events from the indexing scan —
-	// currently "page-complete" (page fully buffered, the C[p]→0
-	// transition) with the page id and the entries added for it. The
-	// engine wires it to the tracer's span ring only while span recording
-	// is enabled, so the nil check is the entire disabled-path cost.
+	// currently "scan-parallel" (the scan fanned out, n = workers) and
+	// "page-complete" (page fully buffered, the C[p]→0 transition) with
+	// the page id and the entries added for it. The engine wires it to
+	// the tracer's span ring only while span recording is enabled, so the
+	// nil check is the entire disabled-path cost.
 	Span func(kind string, page, n int)
+}
+
+// scanWorkers resolves the effective worker count for a scan over
+// numPages pages: Parallelism when positive (GOMAXPROCS when zero),
+// never more than the page count.
+func (a Access) scanWorkers(numPages int) int {
+	w := a.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > numPages {
+		w = numPages
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // NeedsIndexingScan reports whether the equality query column = key would

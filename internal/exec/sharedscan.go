@@ -195,6 +195,17 @@ func sharedFullScan(a Access, qs []SharedQuery, outs []SharedOutcome, states []s
 		outs[i].Stats.FullScan = true
 	}
 	numPages := a.Table.NumPages()
+	workers := a.scanWorkers(numPages)
+	outs[scanQ[0]].Stats.ScanWorkers = workers
+	if workers > 1 {
+		parallelFullScan(a, qs, outs, states, scanQ, numPages, workers)
+		for _, i := range scanQ {
+			if states[i].active {
+				outs[i].Stats.Matches = len(outs[i].Matches)
+			}
+		}
+		return
+	}
 	for p := 0; p < numPages; p++ {
 		if !pollCancel(outs, states, scanQ) {
 			return
@@ -261,7 +272,67 @@ func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states
 	}
 
 	// Table scan (lines 11–17): skip pages with C[p] == 0, index the
-	// selected pages exactly once, demux matches to every attachee.
+	// selected pages exactly once, demux matches to every attachee. With
+	// parallelism the page walk fans out to a worker pool and the buffer
+	// maintenance is applied in one ordered merge (see parallel.go);
+	// results and C[p] transitions are identical either way.
+	workers := a.scanWorkers(numPages)
+	outs[scanQ[0]].Stats.ScanWorkers = workers
+	var entriesAdded int
+	var skipped map[storage.PageID]bool
+	var aborted bool
+	if workers > 1 {
+		skipped, entriesAdded, aborted = parallelIndexingPass(a, qs, outs, states, scanQ, inI, numPages, workers)
+	} else {
+		skipped, entriesAdded, aborted = serialIndexingPass(a, qs, outs, states, scanQ, inI, numPages)
+	}
+
+	// Recover covered matches on skipped pages for range queries: a range
+	// straddling the coverage predicate has covered matches sitting
+	// unreachable on skipped pages (see Range).
+	if !aborted && a.Index != nil && len(skipped) > 0 {
+		for _, i := range scanQ {
+			if !states[i].active || qs[i].Equality {
+				continue
+			}
+			var missing []storage.RID
+			for _, rid := range a.Index.ScanRange(qs[i].Lo, qs[i].Hi) {
+				if skipped[rid.Page] {
+					missing = append(missing, rid)
+				}
+			}
+			m, err := fetchRIDs(a, missing, &outs[i].Stats, states[i].seen)
+			if err != nil {
+				outs[i].Err = err
+				outs[i].Matches = nil
+				states[i].active = false
+				continue
+			}
+			outs[i].Matches = append(outs[i].Matches, m...)
+		}
+	}
+
+	// Attribute the batch-wide maintenance work to the first scanning
+	// query, so per-query stats sum to the work actually performed.
+	leader := scanQ[0]
+	outs[leader].Stats.PagesSelected = len(selected)
+	outs[leader].Stats.EntriesAdded = entriesAdded
+
+	for _, i := range scanQ {
+		if states[i].active {
+			outs[i].Stats.Matches = len(outs[i].Matches)
+		}
+	}
+}
+
+// serialIndexingPass is the single-goroutine table-scan stage of
+// Algorithm 1 (lines 11–17): skip pages with C[p] == 0, index the
+// selected pages exactly once, demux matches to every attachee. It is
+// the oracle the parallel pass (parallel.go) must be bit-identical to.
+// Returns the pages skipped, the entries added, and whether the scan
+// aborted (fault, or every attachee canceled — the consistent prefix of
+// indexed pages is kept either way).
+func serialIndexingPass(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int, inI map[storage.PageID]bool, numPages int) (map[storage.PageID]bool, int, bool) {
 	entriesAdded := 0
 	skipped := make(map[storage.PageID]bool)
 	aborted := false
@@ -326,41 +397,5 @@ func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states
 			a.Span("page-complete", int(pg), len(added))
 		}
 	}
-
-	// Recover covered matches on skipped pages for range queries: a range
-	// straddling the coverage predicate has covered matches sitting
-	// unreachable on skipped pages (see Range).
-	if !aborted && a.Index != nil && len(skipped) > 0 {
-		for _, i := range scanQ {
-			if !states[i].active || qs[i].Equality {
-				continue
-			}
-			var missing []storage.RID
-			for _, rid := range a.Index.ScanRange(qs[i].Lo, qs[i].Hi) {
-				if skipped[rid.Page] {
-					missing = append(missing, rid)
-				}
-			}
-			m, err := fetchRIDs(a, missing, &outs[i].Stats, states[i].seen)
-			if err != nil {
-				outs[i].Err = err
-				outs[i].Matches = nil
-				states[i].active = false
-				continue
-			}
-			outs[i].Matches = append(outs[i].Matches, m...)
-		}
-	}
-
-	// Attribute the batch-wide maintenance work to the first scanning
-	// query, so per-query stats sum to the work actually performed.
-	leader := scanQ[0]
-	outs[leader].Stats.PagesSelected = len(selected)
-	outs[leader].Stats.EntriesAdded = entriesAdded
-
-	for _, i := range scanQ {
-		if states[i].active {
-			outs[i].Stats.Matches = len(outs[i].Matches)
-		}
-	}
+	return skipped, entriesAdded, aborted
 }

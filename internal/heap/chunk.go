@@ -1,0 +1,43 @@
+package heap
+
+import "repro/internal/storage"
+
+// PageRange is a half-open contiguous range of heap pages [Lo, Hi). It
+// is the unit of work a parallel scan hands to one worker: contiguous so
+// each worker's page fetches stay sequential (the access pattern both
+// real devices and the buffer pool's LRU prefer).
+type PageRange struct {
+	Lo, Hi storage.PageID
+}
+
+// Len returns the number of pages in the range.
+func (r PageRange) Len() int { return int(r.Hi - r.Lo) }
+
+// Chunks splits the page range [0, numPages) into at most n contiguous,
+// non-overlapping ranges that together cover it exactly, in ascending
+// page order. The first numPages%n chunks are one page larger, so sizes
+// differ by at most one. n < 1 is treated as 1; fewer pages than chunks
+// yield one single-page chunk per page.
+func Chunks(numPages, n int) []PageRange {
+	if numPages <= 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > numPages {
+		n = numPages
+	}
+	out := make([]PageRange, 0, n)
+	size, extra := numPages/n, numPages%n
+	lo := 0
+	for i := 0; i < n; i++ {
+		hi := lo + size
+		if i < extra {
+			hi++
+		}
+		out = append(out, PageRange{Lo: storage.PageID(lo), Hi: storage.PageID(hi)})
+		lo = hi
+	}
+	return out
+}

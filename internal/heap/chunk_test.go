@@ -1,0 +1,55 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestChunks checks the partition contract exhaustively over small
+// shapes: the chunks tile [0, numPages) exactly — contiguous, ascending,
+// non-overlapping — with at most n chunks whose sizes differ by at most
+// one page.
+func TestChunks(t *testing.T) {
+	t.Parallel()
+	for numPages := 0; numPages <= 40; numPages++ {
+		for n := -1; n <= numPages+2; n++ {
+			chunks := Chunks(numPages, n)
+			if numPages == 0 {
+				if len(chunks) != 0 {
+					t.Fatalf("Chunks(0, %d) = %v, want empty", n, chunks)
+				}
+				continue
+			}
+			wantLen := n
+			if wantLen < 1 {
+				wantLen = 1
+			}
+			if wantLen > numPages {
+				wantLen = numPages
+			}
+			if len(chunks) != wantLen {
+				t.Fatalf("Chunks(%d, %d): %d chunks, want %d", numPages, n, len(chunks), wantLen)
+			}
+			next := storage.PageID(0)
+			minLen, maxLen := numPages, 0
+			for i, c := range chunks {
+				if c.Lo != next || c.Hi <= c.Lo {
+					t.Fatalf("Chunks(%d, %d)[%d] = %+v, want contiguous from %d", numPages, n, i, c, next)
+				}
+				next = c.Hi
+				if l := c.Len(); l < minLen {
+					minLen = l
+				} else if l > maxLen {
+					maxLen = l
+				}
+			}
+			if int(next) != numPages {
+				t.Fatalf("Chunks(%d, %d) end at %d", numPages, n, next)
+			}
+			if maxLen > 0 && maxLen-minLen > 1 {
+				t.Fatalf("Chunks(%d, %d): sizes range %d..%d", numPages, n, minLen, maxLen)
+			}
+		}
+	}
+}

@@ -18,12 +18,14 @@ func newPage(t *testing.T) *SlottedPage {
 }
 
 func TestAsPageRejectsWrongSize(t *testing.T) {
+	t.Parallel()
 	if _, err := AsPage(make([]byte, 100)); err == nil {
 		t.Error("wrong-size buffer should fail")
 	}
 }
 
 func TestPageInsertGet(t *testing.T) {
+	t.Parallel()
 	p := newPage(t)
 	if p.NumSlots() != 0 || p.LiveCount() != 0 {
 		t.Fatalf("empty page: slots=%d live=%d", p.NumSlots(), p.LiveCount())
@@ -52,6 +54,7 @@ func TestPageInsertGet(t *testing.T) {
 }
 
 func TestPageDeleteAndSlotReuse(t *testing.T) {
+	t.Parallel()
 	p := newPage(t)
 	s0, _ := p.Insert([]byte("one"))
 	s1, _ := p.Insert([]byte("two"))
@@ -89,6 +92,7 @@ func TestPageDeleteAndSlotReuse(t *testing.T) {
 }
 
 func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	t.Parallel()
 	p := newPage(t)
 	s, _ := p.Insert([]byte("hello world"))
 	ok, err := p.Update(s, []byte("hi"))
@@ -114,6 +118,7 @@ func TestPageUpdateInPlaceAndGrow(t *testing.T) {
 }
 
 func TestPageUpdateDoesNotFit(t *testing.T) {
+	t.Parallel()
 	p := newPage(t)
 	// Fill the page with two large tuples.
 	half := bytes.Repeat([]byte("a"), (buffer.PageSize-headerSize)/2-2*slotEntrySize)
@@ -135,6 +140,7 @@ func TestPageUpdateDoesNotFit(t *testing.T) {
 }
 
 func TestPageInsertFullAndCompaction(t *testing.T) {
+	t.Parallel()
 	p := newPage(t)
 	payload := bytes.Repeat([]byte("z"), 1000)
 	var slots []int
@@ -180,6 +186,7 @@ func TestPageInsertFullAndCompaction(t *testing.T) {
 }
 
 func TestPageInsertOversized(t *testing.T) {
+	t.Parallel()
 	p := newPage(t)
 	if _, ok := p.Insert(make([]byte, buffer.PageSize)); ok {
 		t.Error("page-sized payload should not fit")
@@ -190,6 +197,7 @@ func TestPageInsertOversized(t *testing.T) {
 // updates against a map model and checks full consistency after every
 // operation.
 func TestPageRandomizedOps(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	p := newPage(t)
 	model := map[int][]byte{} // slot -> payload

@@ -10,6 +10,7 @@ func iv(v int64) storage.Value { return storage.Int64Value(v) }
 func rid(p, s int) storage.RID { return storage.RID{Page: storage.PageID(p), Slot: uint16(s)} }
 
 func TestRangeCoverage(t *testing.T) {
+	t.Parallel()
 	c := IntRange(1, 5000)
 	cases := []struct {
 		v    int64
@@ -28,6 +29,7 @@ func TestRangeCoverage(t *testing.T) {
 }
 
 func TestSetCoverage(t *testing.T) {
+	t.Parallel()
 	c := NewSetCoverage(iv(3), iv(7), storage.StringValue("ORD"))
 	if !c.Covers(iv(3)) || !c.Covers(storage.StringValue("ORD")) {
 		t.Error("member not covered")
@@ -41,6 +43,7 @@ func TestSetCoverage(t *testing.T) {
 }
 
 func TestNoneAllCoverage(t *testing.T) {
+	t.Parallel()
 	if (NoneCoverage{}).Covers(iv(1)) {
 		t.Error("NoneCoverage covered something")
 	}
@@ -53,6 +56,7 @@ func TestNoneAllCoverage(t *testing.T) {
 }
 
 func TestPartialAddRespectsCoverage(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("ix_a", 0, IntRange(1, 100))
 	if !p.Add(iv(50), rid(0, 0)) {
 		t.Error("covered add should succeed")
@@ -72,6 +76,7 @@ func TestPartialAddRespectsCoverage(t *testing.T) {
 }
 
 func TestPartialLookup(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("ix_a", 0, IntRange(1, 100))
 	p.Add(iv(10), rid(1, 0))
 	p.Add(iv(10), rid(2, 0))
@@ -91,6 +96,7 @@ func TestPartialLookup(t *testing.T) {
 }
 
 func TestPartialContains(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("ix_a", 0, IntRange(1, 100))
 	p.Add(iv(10), rid(1, 0))
 	if !p.Contains(iv(10), rid(1, 0)) {
@@ -107,6 +113,7 @@ func TestPartialContains(t *testing.T) {
 }
 
 func TestPartialRemove(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("ix_a", 0, IntRange(1, 100))
 	p.Add(iv(10), rid(1, 0))
 	if !p.Remove(iv(10), rid(1, 0)) {
@@ -121,6 +128,7 @@ func TestPartialRemove(t *testing.T) {
 }
 
 func TestPartialUpdateMatrix(t *testing.T) {
+	t.Parallel()
 	// The four IX cases of the paper's Table I.
 	cov := IntRange(1, 100)
 	r1, r2 := rid(1, 0), rid(2, 0)
@@ -194,6 +202,7 @@ func (f *fakeSource) Scan(fn func(storage.RID, storage.Tuple) error) error {
 }
 
 func TestPartialRebuild(t *testing.T) {
+	t.Parallel()
 	src := &fakeSource{}
 	for i := 0; i < 100; i++ {
 		src.add(rid(i/10, i%10), storage.NewTuple(iv(int64(i))))
@@ -221,6 +230,7 @@ func TestPartialRebuild(t *testing.T) {
 }
 
 func TestPartialAscend(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("ix", 0, IntRange(1, 100))
 	for _, k := range []int64{30, 10, 20} {
 		p.Add(iv(k), rid(int(k), 0))
@@ -239,6 +249,7 @@ func TestPartialAscend(t *testing.T) {
 }
 
 func TestNewPartialNilCoverage(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("ix", 0, nil)
 	if p.Covers(iv(1)) {
 		t.Error("nil coverage should behave as NONE")
@@ -246,6 +257,7 @@ func TestNewPartialNilCoverage(t *testing.T) {
 }
 
 func TestCoversWholeRange(t *testing.T) {
+	t.Parallel()
 	r := IntRange(10, 100)
 	if !CoversWholeRange(r, iv(10), iv(100)) || !CoversWholeRange(r, iv(50), iv(60)) {
 		t.Error("nested range should be covered")
@@ -270,6 +282,7 @@ func TestCoversWholeRange(t *testing.T) {
 }
 
 func TestPartialLookupRange(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("ix", 0, IntRange(0, 99))
 	for k := int64(0); k < 100; k += 2 {
 		p.Add(iv(k), rid(int(k), 0))
@@ -287,6 +300,7 @@ func TestPartialLookupRange(t *testing.T) {
 }
 
 func TestPartialScanRange(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("ix", 0, IntRange(0, 49))
 	for k := int64(0); k < 100; k++ {
 		p.Add(iv(k), rid(int(k), 0)) // only 0..49 accepted
@@ -300,6 +314,7 @@ func TestPartialScanRange(t *testing.T) {
 }
 
 func TestUnionCoverage(t *testing.T) {
+	t.Parallel()
 	u := UnionCoverage{IntRange(1, 10), IntRange(50, 60)}
 	for _, c := range []struct {
 		v    int64
@@ -321,6 +336,7 @@ func TestUnionCoverage(t *testing.T) {
 }
 
 func TestSetCoverageForEach(t *testing.T) {
+	t.Parallel()
 	c := NewSetCoverage(iv(1), iv(2), iv(3))
 	seen := map[int64]bool{}
 	c.ForEach(func(v storage.Value) { seen[v.Int64()] = true })
@@ -330,6 +346,7 @@ func TestSetCoverageForEach(t *testing.T) {
 }
 
 func TestPartialAccessors(t *testing.T) {
+	t.Parallel()
 	p := NewPartial("flights.airport", 2, IntRange(1, 5))
 	if p.Name() != "flights.airport" || p.Column() != 2 {
 		t.Errorf("accessors: %q, %d", p.Name(), p.Column())

@@ -17,6 +17,28 @@ type SharedScanCounters struct {
 	Attached atomic.Uint64
 }
 
+// ParallelScanCounters counts parallel heap-scan execution: how many
+// table-scan stages fanned out to more than one worker, and the total
+// workers used across them. Atomic for the same reason as
+// SharedScanCounters; the mean fan-out is Workers/Scans.
+type ParallelScanCounters struct {
+	// Scans counts table-scan stages executed with more than one worker.
+	Scans atomic.Uint64
+	// Workers sums the worker counts of those scans.
+	Workers atomic.Uint64
+}
+
+// ParallelScanStats is a point-in-time reading of ParallelScanCounters.
+type ParallelScanStats struct {
+	Scans   uint64 // scans that fanned out (>1 worker)
+	Workers uint64 // total workers across those scans
+}
+
+// Snapshot reads the counters.
+func (c *ParallelScanCounters) Snapshot() ParallelScanStats {
+	return ParallelScanStats{Scans: c.Scans.Load(), Workers: c.Workers.Load()}
+}
+
 // SharedScanStats is a point-in-time reading of SharedScanCounters.
 type SharedScanStats struct {
 	Misses   uint64 // miss queries admitted

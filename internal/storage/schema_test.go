@@ -13,6 +13,7 @@ func flightsSchema() *Schema {
 }
 
 func TestNewSchemaValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewSchema(); err == nil {
 		t.Error("empty schema should fail")
 	}
@@ -31,6 +32,7 @@ func TestNewSchemaValidation(t *testing.T) {
 }
 
 func TestMustSchemaPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("MustSchema on bad input should panic")
@@ -40,6 +42,7 @@ func TestMustSchemaPanics(t *testing.T) {
 }
 
 func TestSchemaAccessors(t *testing.T) {
+	t.Parallel()
 	s := flightsSchema()
 	if s.NumColumns() != 2 {
 		t.Fatalf("NumColumns = %d, want 2", s.NumColumns())
@@ -59,6 +62,7 @@ func TestSchemaAccessors(t *testing.T) {
 }
 
 func TestSchemaValidate(t *testing.T) {
+	t.Parallel()
 	s := flightsSchema()
 	ok := NewTuple(StringValue("ORD"), Int64Value(12))
 	if err := s.Validate(ok); err != nil {

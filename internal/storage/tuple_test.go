@@ -8,6 +8,7 @@ import (
 )
 
 func TestRIDBasics(t *testing.T) {
+	t.Parallel()
 	r := RID{Page: 3, Slot: 7}
 	if !r.IsValid() {
 		t.Error("real RID should be valid")
@@ -24,6 +25,7 @@ func TestRIDBasics(t *testing.T) {
 }
 
 func TestRIDLess(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		a, b RID
 		want bool
@@ -41,6 +43,7 @@ func TestRIDLess(t *testing.T) {
 }
 
 func TestTupleBasics(t *testing.T) {
+	t.Parallel()
 	tu := NewTuple(StringValue("FRA"), Int64Value(30))
 	if tu.Len() != 2 {
 		t.Fatalf("Len = %d", tu.Len())
@@ -61,6 +64,7 @@ func TestTupleBasics(t *testing.T) {
 }
 
 func TestTupleEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	s := flightsSchema()
 	tuples := []Tuple{
 		NewTuple(StringValue("ORD"), Int64Value(0)),
@@ -88,6 +92,7 @@ func TestTupleEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestTupleEncodeRejectsSchemaMismatch(t *testing.T) {
+	t.Parallel()
 	s := flightsSchema()
 	if _, err := EncodeTuple(s, NewTuple(Int64Value(1), Int64Value(2)), nil); err == nil {
 		t.Error("kind mismatch should fail")
@@ -95,6 +100,7 @@ func TestTupleEncodeRejectsSchemaMismatch(t *testing.T) {
 }
 
 func TestTupleDecodeErrors(t *testing.T) {
+	t.Parallel()
 	s := flightsSchema()
 	good, err := EncodeTuple(s, NewTuple(StringValue("ORD"), Int64Value(5)), nil)
 	if err != nil {
@@ -109,6 +115,7 @@ func TestTupleDecodeErrors(t *testing.T) {
 }
 
 func TestTupleRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	s := MustSchema(
 		Column{Name: "a", Kind: KindInt64},
 		Column{Name: "b", Kind: KindInt64},

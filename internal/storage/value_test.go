@@ -8,6 +8,7 @@ import (
 )
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	if got := KindInt64.String(); got != "INTEGER" {
 		t.Errorf("KindInt64.String() = %q, want INTEGER", got)
 	}
@@ -20,6 +21,7 @@ func TestKindString(t *testing.T) {
 }
 
 func TestValueAccessors(t *testing.T) {
+	t.Parallel()
 	v := Int64Value(42)
 	if v.Kind() != KindInt64 || v.Int64() != 42 {
 		t.Errorf("Int64Value(42) = kind %v value %d", v.Kind(), v.Int64())
@@ -38,6 +40,7 @@ func TestValueAccessors(t *testing.T) {
 }
 
 func TestValueAccessorPanics(t *testing.T) {
+	t.Parallel()
 	mustPanic := func(name string, f func()) {
 		t.Helper()
 		defer func() {
@@ -53,6 +56,7 @@ func TestValueAccessorPanics(t *testing.T) {
 }
 
 func TestValueCompare(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		a, b Value
 		want int
@@ -78,6 +82,7 @@ func TestValueCompare(t *testing.T) {
 }
 
 func TestValueString(t *testing.T) {
+	t.Parallel()
 	if got := Int64Value(-3).String(); got != "-3" {
 		t.Errorf("Int64Value(-3).String() = %q", got)
 	}
@@ -90,6 +95,7 @@ func TestValueString(t *testing.T) {
 }
 
 func TestValueEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	vals := []Value{
 		Int64Value(0), Int64Value(-1), Int64Value(math.MaxInt64), Int64Value(math.MinInt64),
 		StringValue(""), StringValue("FRA"), StringValue(strings.Repeat("x", 512)),
@@ -113,6 +119,7 @@ func TestValueEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestValueDecodeErrors(t *testing.T) {
+	t.Parallel()
 	if _, _, err := decodeValue(KindInt64, []byte{1, 2, 3}); err == nil {
 		t.Error("short INTEGER decode should fail")
 	}
@@ -129,6 +136,7 @@ func TestValueDecodeErrors(t *testing.T) {
 }
 
 func TestValueCompareProperties(t *testing.T) {
+	t.Parallel()
 	// Antisymmetry and consistency with Equal over random int pairs.
 	f := func(a, b int64) bool {
 		va, vb := Int64Value(a), Int64Value(b)

@@ -102,6 +102,10 @@ const (
 	// C[p]→0 transition that makes the page skippable. Page is the page,
 	// N the entries added for it.
 	SpanPageComplete = "page-complete"
+	// SpanScanParallel: a table-scan stage fanned out to a worker pool.
+	// N is the worker count; emitted once per parallel scan, before the
+	// workers start.
+	SpanScanParallel = "scan-parallel"
 )
 
 // Span is one structured event from the adaptive machinery. Seq is a

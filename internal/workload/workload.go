@@ -6,6 +6,16 @@
 //
 // Everything is seeded and deterministic, so experiment runs are
 // reproducible.
+//
+// Seeding convention (repo-wide): no code in this repository draws from
+// the global math/rand source — every random stream is created with
+// rand.New(rand.NewSource(seed)) from an explicit seed. Tests and
+// benchmarks hard-code their seeds so failures replay bit-for-bit;
+// experiment runners derive independent streams from one user-facing
+// seed by fixed offsets (e.g. data at Seed, queries at Seed+1000), so
+// changing one stream's consumption never perturbs another. New code
+// must follow the same pattern: accept a seed, derive sub-streams by
+// distinct offsets, never call rand.Intn or friends at package level.
 package workload
 
 import (

@@ -9,6 +9,7 @@ import (
 )
 
 func TestDatasetSchema(t *testing.T) {
+	t.Parallel()
 	d := PaperDataset(100)
 	s, err := d.Schema()
 	if err != nil {
@@ -29,6 +30,7 @@ func TestDatasetSchema(t *testing.T) {
 }
 
 func TestDatasetGenerate(t *testing.T) {
+	t.Parallel()
 	d := PaperDataset(2000)
 	var minV, maxV int64 = math.MaxInt64, 0
 	payloads := map[int]bool{}
@@ -65,6 +67,7 @@ func TestDatasetGenerate(t *testing.T) {
 }
 
 func TestDatasetDeterminism(t *testing.T) {
+	t.Parallel()
 	d := PaperDataset(50)
 	var first []int64
 	_ = d.Generate(func(tu storage.Tuple) error {
@@ -82,6 +85,7 @@ func TestDatasetDeterminism(t *testing.T) {
 }
 
 func TestDatasetInvalid(t *testing.T) {
+	t.Parallel()
 	if err := (Dataset{Rows: -1, Columns: 1, Domain: 10, PayloadMax: 5}).Generate(nil); err == nil {
 		t.Error("negative rows should fail")
 	}
@@ -91,6 +95,7 @@ func TestDatasetInvalid(t *testing.T) {
 }
 
 func TestUniform(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	draw := Uniform(10, 20)
 	for i := 0; i < 1000; i++ {
@@ -113,6 +118,7 @@ func TestUniform(t *testing.T) {
 }
 
 func TestWithHitRate(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	draw := WithHitRate(0.8, Uniform(1, 100), Uniform(1000, 2000))
 	hits := 0
@@ -129,6 +135,7 @@ func TestWithHitRate(t *testing.T) {
 }
 
 func TestZipfSkew(t *testing.T) {
+	t.Parallel()
 	draw := Zipf(1.5, 1000, 3)
 	rng := rand.New(rand.NewSource(0))
 	low := 0
@@ -148,6 +155,7 @@ func TestZipfSkew(t *testing.T) {
 }
 
 func TestShiftingRange(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	f := ShiftingRange(1, 14, 16, 30, 200, 300)
 	for q := 0; q < 200; q++ {
@@ -169,6 +177,7 @@ func TestShiftingRange(t *testing.T) {
 }
 
 func TestMix(t *testing.T) {
+	t.Parallel()
 	m := MustMix(0.5, 1.0/3, 1.0/6) // paper experiment 3
 	if m.Columns() != 3 {
 		t.Fatalf("columns = %d", m.Columns())
@@ -197,6 +206,7 @@ func TestMix(t *testing.T) {
 }
 
 func TestMustMixPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("MustMix on bad input should panic")
