@@ -50,6 +50,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/storage"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -124,6 +125,8 @@ func (s Structure) factory() core.StructureFactory {
 // DB is a database instance.
 type DB struct {
 	eng *engine.Engine
+	// sink is the attached telemetry sink, if any (EnableTelemetrySink).
+	sink *timeline.Sink
 }
 
 // OpenExisting reopens a database previously persisted with Save into
@@ -619,9 +622,72 @@ func (db *DB) LatencyStats() []LatencyStats { return db.eng.Tracer().LatencyStat
 func (db *DB) WriteMetrics(w io.Writer) error { return db.eng.WriteMetrics(w) }
 
 // MetricsHandler returns an http.Handler serving /metrics (Prometheus
-// text) and /debug/pprof/* for this database. Mount it on a server of
-// your choosing; nothing listens unless you do.
+// text), /timeline (adaptation timeline as JSON), /healthz and
+// /debug/pprof/* for this database. Mount it on a server of your
+// choosing; nothing listens unless you do.
 func (db *DB) MetricsHandler() http.Handler { return obs.Handler(db.eng) }
+
+// TimelineSample is one adaptation-timeline data point: coverage
+// fraction, C[p] distribution summary, occupancy, churn counters and
+// the per-mechanism query mix at one sampling instant; see
+// timeline.Sample.
+type TimelineSample = timeline.Sample
+
+// TimelineSeries is the retained timeline of one (table, column) pair,
+// samples oldest-first; see timeline.Series.
+type TimelineSeries = timeline.Series
+
+// Convergence is the convergence detector's verdict for one column:
+// whether (and after how many queries) coverage reached the target
+// fraction, and whether it has since regressed; see
+// timeline.Convergence.
+type Convergence = timeline.Convergence
+
+// EnableTimeline turns adaptation-timeline sampling on or off. Off (the
+// default) reduces the instrumentation on every query path to a single
+// atomic load, the same contract as EnableTraceEvents. While on, every
+// query boundary samples the queried column's coverage, counter
+// distribution and occupancy, and adaptive events (displacement,
+// page completion) mark their buffer for resampling.
+func (db *DB) EnableTimeline(on bool) { db.eng.Timeline().Enable(on) }
+
+// Timeline returns the retained adaptation timeline, one series per
+// (table, column), sorted by buffer name. Empty until EnableTimeline.
+func (db *DB) Timeline() []TimelineSeries { return db.eng.Timeline().Series() }
+
+// Convergence returns the convergence verdicts — the paper-shaped
+// answer to "how many queries until column X became 95% skippable?" —
+// sorted by buffer name. The target fraction defaults to 0.95.
+func (db *DB) Convergence() []Convergence { return db.eng.Convergence() }
+
+// TelemetryStats reports a telemetry sink's counters: records written
+// and write failures; see timeline.SinkStats.
+type TelemetryStats = timeline.SinkStats
+
+// EnableTelemetrySink streams structured telemetry — every trace span
+// and every timeline sample, one JSON object per line — to w, enabling
+// trace events and timeline sampling as a side effect. The caller owns
+// w's lifecycle; writes are serialized internally and a failed write
+// drops that record (see TelemetryStats) rather than failing queries.
+// A nil w detaches the current sink and leaves recording enabled.
+func (db *DB) EnableTelemetrySink(w io.Writer) {
+	if w == nil {
+		db.eng.SetTelemetrySink(nil)
+		db.sink = nil
+		return
+	}
+	db.sink = timeline.NewSink(w)
+	db.eng.SetTelemetrySink(db.sink)
+}
+
+// TelemetryStats reads the attached sink's counters (zero if no sink
+// is attached).
+func (db *DB) TelemetryStats() TelemetryStats {
+	if db.sink == nil {
+		return TelemetryStats{}
+	}
+	return db.sink.Stats()
+}
 
 // Close flushes buffer pools and releases file-backed stores. In-memory
 // databases need no Close, but calling it is always safe.

@@ -668,18 +668,23 @@ func BenchmarkChurn(b *testing.B) {
 }
 
 // BenchmarkTraceOverhead measures the observability layer's per-query
-// cost on the hot hit path. With span recording off (the default) every
-// instrumentation point is a single atomic load and the access path
-// allocates nothing extra, so the two sub-benchmarks should be within
-// noise of each other — the overhead contract in DESIGN.md,
-// "Observability".
+// cost on the hot hit path. With span recording and timeline sampling
+// off (the default) every instrumentation point is a single atomic load
+// and the access path allocates nothing extra, so the "off" sub-benchmark
+// should be within noise of the enabled ones — the overhead contract in
+// DESIGN.md, "Observability" and "Adaptation timeline".
 func BenchmarkTraceOverhead(b *testing.B) {
-	for _, spans := range []bool{false, true} {
-		name := "spans-off"
-		if spans {
-			name = "spans-on"
-		}
-		b.Run(name, func(b *testing.B) {
+	cases := []struct {
+		name            string
+		spans, timeline bool
+	}{
+		{"off", false, false},
+		{"spans-on", true, false},
+		{"timeline-on", false, true},
+		{"spans-and-timeline-on", true, true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
 			db := MustOpen(Options{})
 			defer db.Close()
 			tb, err := db.CreateTable("data", Int64Column("k"), StringColumn("pad"))
@@ -697,7 +702,8 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			if err := tb.CreatePartialRangeIndex("k", 0, 99); err != nil {
 				b.Fatal(err)
 			}
-			db.EnableTraceEvents(spans)
+			db.EnableTraceEvents(tc.spans)
+			db.EnableTimeline(tc.timeline)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

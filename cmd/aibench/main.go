@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sync/atomic"
 
@@ -21,36 +22,72 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/timeline"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1, 3, 6, 7, 8, 9, bridge, corr, churn or all")
-		rows    = flag.Int("rows", 50000, "table rows (paper: 500000)")
-		queries = flag.Int("queries", 200, "queries per experiment (paper: 200)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		format  = flag.String("format", "table", "output format: table, tsv or plot")
-		step    = flag.Int("step", 10, "table output: print every step-th query")
-		latency = flag.Duration("latency", 0, "simulated device read latency (e.g. 100us); shapes wall-clock series")
-		listen  = flag.String("listen", "", "serve /metrics (current experiment) and /debug/pprof on this address")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 6, 7, 8, 9, bridge, corr, churn or all")
+		rows      = flag.Int("rows", 50000, "table rows (paper: 500000)")
+		queries   = flag.Int("queries", 200, "queries per experiment (paper: 200)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		format    = flag.String("format", "table", "output format: table, tsv or plot")
+		step      = flag.Int("step", 10, "table output: print every step-th query")
+		latency   = flag.Duration("latency", 0, "simulated device read latency (e.g. 100us); shapes wall-clock series")
+		listen    = flag.String("listen", "", "serve /metrics and /timeline (current experiment) and /debug/pprof on this address")
+		telemetry = flag.String("telemetry", "", "stream structured telemetry (spans + timeline samples) as JSONL to this file")
+		verify    = flag.String("verify-telemetry", "", "validate a telemetry JSONL file and exit (no experiments run)")
 	)
 	flag.Parse()
 
-	if *listen != "" {
-		// Experiments build their own engines; track the latest so
-		// /metrics follows whichever experiment is running.
-		var current atomic.Pointer[engine.Engine]
+	if *verify != "" {
+		if err := verifyTelemetry(*verify); err != nil {
+			fmt.Fprintln(os.Stderr, "aibench: verify-telemetry:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var sink *timeline.Sink
+	var sinkFile *os.File
+	if *telemetry != "" {
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aibench: telemetry:", err)
+			os.Exit(1)
+		}
+		sinkFile = f
+		sink = timeline.NewSink(f)
+	}
+
+	// Experiments build their own engines; track the latest so /metrics
+	// and /timeline follow whichever experiment is running, and so each
+	// engine gets its telemetry wired up as it is created.
+	var current atomic.Pointer[engine.Engine]
+	observing := *listen != "" || sink != nil
+	if observing {
 		bench.SetEngineObserver(func(e *engine.Engine) {
 			e.Tracer().EnableSpans(true)
+			e.Timeline().Enable(true)
+			if sink != nil {
+				e.SetTelemetrySink(sink)
+			}
 			current.Store(e)
 		})
-		srv, addr, err := obs.ServeDynamic(*listen, current.Load)
+	}
+
+	var server *obs.Server
+	var addr string
+	if *listen != "" {
+		server = obs.NewServer(current.Load)
+		srv, boundAddr, err := server.Start(*listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aibench: listen:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics and /debug/pprof/\n", addr)
+		addr = boundAddr
+		fmt.Printf("observability: http://%s/metrics, /timeline and /debug/pprof/\n", addr)
 	}
 
 	opts := bench.Options{Rows: *rows, Queries: *queries, Seed: *seed, ReadLatency: *latency}
@@ -63,7 +100,129 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aibench: figure %s: %v\n", f, err)
 			os.Exit(1)
 		}
+		if observing {
+			printConvergence(current.Load())
+		}
 	}
+
+	failed := false
+	if server != nil {
+		if err := selfScrape(addr); err != nil {
+			fmt.Fprintln(os.Stderr, "aibench: self-scrape:", err)
+			failed = true
+		}
+		if st := server.ScrapeStats(); st.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "aibench: %d of %d scrapes failed mid-stream\n", st.Errors, st.Scrapes)
+			failed = true
+		}
+	}
+	if sink != nil {
+		st := sink.Stats()
+		if err := sinkFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "aibench: telemetry:", err)
+			failed = true
+		}
+		if st.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "aibench: telemetry: %d records dropped (last error: %v)\n", st.Errors, sink.Err())
+			failed = true
+		} else {
+			fmt.Printf("telemetry: %d records -> %s\n", st.Lines, *telemetry)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printConvergence summarizes the just-finished experiment's timeline
+// verdicts — the paper-shaped "queries to X% coverage" readout.
+func printConvergence(e *engine.Engine) {
+	if e == nil {
+		return
+	}
+	convs := e.Convergence()
+	if len(convs) == 0 {
+		return
+	}
+	fmt.Println("convergence:")
+	for _, c := range convs {
+		switch {
+		case c.Achieved && c.Regressed:
+			fmt.Printf("  %-20s reached %.0f%% coverage after %d queries, then REGRESSED (now %.1f%%)\n",
+				c.Buffer, 100*c.Target, c.QueriesToTarget, 100*c.Coverage)
+		case c.Achieved:
+			fmt.Printf("  %-20s reached %.0f%% coverage after %d queries (now %.1f%%)\n",
+				c.Buffer, 100*c.Target, c.QueriesToTarget, 100*c.Coverage)
+		default:
+			fmt.Printf("  %-20s below the %.0f%% target: %.1f%% after %d queries (max %.1f%%)\n",
+				c.Buffer, 100*c.Target, 100*c.Coverage, c.Queries, 100*c.MaxCoverage)
+		}
+	}
+	fmt.Println()
+}
+
+// selfScrape hits the run's own /metrics and /timeline once after the
+// experiments finish, so a CI smoke run fails loudly when either
+// endpoint stops parsing or serving.
+func selfScrape(addr string) error {
+	for _, path := range []string{"/metrics", "/timeline", "/healthz"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %s", path, resp.Status)
+		}
+	}
+	return nil
+}
+
+// verifyTelemetry decodes every record of a JSONL telemetry file and
+// applies basic sanity rules: coverage within [0, 1], skippable pages
+// within the total, per-buffer query ordinals non-decreasing, span
+// kinds non-empty. Any malformed line fails the whole file.
+func verifyTelemetry(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, spans := 0, 0
+	lastQuery := make(map[string]uint64)
+	n, err := timeline.ScanRecords(f,
+		func(rec timeline.SampleRecord) error {
+			samples++
+			if rec.Buffer == "" {
+				return fmt.Errorf("sample without buffer")
+			}
+			if rec.Coverage < 0 || rec.Coverage > 1 {
+				return fmt.Errorf("buffer %s: coverage %g outside [0, 1]", rec.Buffer, rec.Coverage)
+			}
+			if rec.Skippable > rec.TotalPages {
+				return fmt.Errorf("buffer %s: %d skippable of %d pages", rec.Buffer, rec.Skippable, rec.TotalPages)
+			}
+			if rec.Query < lastQuery[rec.Buffer] {
+				return fmt.Errorf("buffer %s: query ordinal went backwards (%d after %d)", rec.Buffer, rec.Query, lastQuery[rec.Buffer])
+			}
+			lastQuery[rec.Buffer] = rec.Query
+			return nil
+		},
+		func(rec timeline.SpanRecord) error {
+			spans++
+			if rec.Kind == "" {
+				return fmt.Errorf("span without kind")
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("%s: no records", path)
+	}
+	fmt.Printf("telemetry ok: %d records (%d samples, %d spans) in %s\n", n, samples, spans, path)
+	return nil
 }
 
 func run(fig string, opts bench.Options, format string, step int) error {

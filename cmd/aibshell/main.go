@@ -34,7 +34,7 @@ import (
 func main() {
 	demo := flag.Bool("demo", false, "preload a populated flights table")
 	data := flag.String("data", "", "directory for persistent storage (reopened if a catalog exists)")
-	listen := flag.String("listen", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:9090); also enables span recording")
+	listen := flag.String("listen", "", "serve /metrics, /timeline and /debug/pprof on this address (e.g. localhost:9090); also enables span recording and timeline sampling")
 	flag.Parse()
 
 	cfg := engine.Config{Space: core.Config{IMax: 2000, P: 500}, DataDir: *data}
@@ -57,7 +57,8 @@ func main() {
 		}
 		defer srv.Close()
 		eng.Tracer().EnableSpans(true)
-		fmt.Printf("observability: http://%s/metrics and /debug/pprof/\n", addr)
+		eng.Timeline().Enable(true)
+		fmt.Printf("observability: http://%s/metrics, /timeline and /debug/pprof/ (SHOW TIMELINE works too)\n", addr)
 	}
 	if *demo {
 		if err := preload(eng); err != nil {

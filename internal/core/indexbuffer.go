@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/storage"
@@ -128,6 +130,96 @@ func (b *IndexBuffer) EntryCount() int {
 		n += p.EntryCount()
 	}
 	return n
+}
+
+// EntryBytes returns the exact encoded payload bytes held across all
+// partitions — the buffer's occupancy in bytes rather than entries.
+func (b *IndexBuffer) EntryBytes() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0
+	for _, p := range b.parts {
+		n += p.EntryBytes()
+	}
+	return n
+}
+
+// CounterStats summarizes the effective counter array C[p]: how many
+// pages are skippable (C[p] == 0) and the distribution of the non-zero
+// counters — the remaining un-buffered work. Remaining is Σ C[p].
+type CounterStats struct {
+	Pages     int // counter array size (pages the buffer knows about)
+	Skippable int // pages with C[p] == 0
+	Remaining int // Σ C[p]: uncovered live tuples not yet buffered
+	// Min/P50/P95/Max describe the non-zero counters; all zero when
+	// every page is skippable.
+	Min, P50, P95, Max int
+}
+
+// Coverage returns Skippable/Pages, the fraction of table pages a scan
+// on this column may skip (0 when the buffer knows no pages).
+func (c CounterStats) Coverage() float64 {
+	if c.Pages == 0 {
+		return 0
+	}
+	return float64(c.Skippable) / float64(c.Pages)
+}
+
+// CounterSummary walks the counter array once and returns its
+// distribution summary. O(pages) plus a sort of the non-zero counters;
+// intended for sampling paths that are off unless observability asked
+// for them, not for per-tuple hot paths.
+func (b *IndexBuffer) CounterSummary() CounterStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	st := CounterStats{Pages: len(b.uncovered)}
+	nonzero := make([]int, 0, len(b.uncovered))
+	for p := range b.uncovered {
+		c := b.counterLocked(storage.PageID(p))
+		if c == 0 {
+			st.Skippable++
+			continue
+		}
+		st.Remaining += c
+		nonzero = append(nonzero, c)
+	}
+	if len(nonzero) == 0 {
+		return st
+	}
+	sort.Ints(nonzero)
+	st.Min = nonzero[0]
+	st.Max = nonzero[len(nonzero)-1]
+	st.P50 = nonzero[quantileIndex(len(nonzero), 0.50)]
+	st.P95 = nonzero[quantileIndex(len(nonzero), 0.95)]
+	return st
+}
+
+// quantileIndex maps quantile q to an index in a sorted slice of n
+// elements (nearest-rank: the smallest element with at least q·n of the
+// sample at or below it).
+func quantileIndex(n int, q float64) int {
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Skippable returns (pages with C[p] == 0, total pages) without the
+// distribution walk's sort — cheap enough for every /metrics scrape.
+func (b *IndexBuffer) Skippable() (zero, total int) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	total = len(b.uncovered)
+	for p := range b.uncovered {
+		if b.counterLocked(storage.PageID(p)) == 0 {
+			zero++
+		}
+	}
+	return zero, total
 }
 
 // PartitionCount returns the number of live partitions.
@@ -260,7 +352,7 @@ func (b *IndexBuffer) AddEntry(p storage.PageID, key storage.Value, rid storage.
 	if !ok {
 		return fmt.Errorf("core: AddEntry on unbuffered page %d in %s", p, b.name)
 	}
-	if part.structure.Insert(key, rid) {
+	if part.insert(key, rid) {
 		b.space.addUsed(1)
 	}
 	return nil
@@ -284,7 +376,7 @@ func (b *IndexBuffer) ApplyPage(p storage.PageID, entries []PageEntry) error {
 	part := b.byPage[p]
 	added := 0
 	for _, e := range entries {
-		if part.structure.Insert(e.Key, e.RID) {
+		if part.insert(e.Key, e.RID) {
 			added++
 		}
 	}
@@ -316,7 +408,7 @@ func (b *IndexBuffer) AbortPage(p storage.PageID, added []PageEntry) {
 		return
 	}
 	for _, e := range added {
-		if part.structure.Delete(e.Key, e.RID) {
+		if part.remove(e.Key, e.RID) {
 			b.space.addUsed(-1)
 		}
 	}

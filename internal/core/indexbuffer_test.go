@@ -276,3 +276,68 @@ func TestAbortPageRollsBackAssignment(t *testing.T) {
 		t.Errorf("no-op abort changed C[0] to %d", b2.Counter(0))
 	}
 }
+
+// TestEntryBytesAccounting pins the exact-byte occupancy bookkeeping:
+// every insert and remove moves EntryBytes by the key's encoded size
+// plus the fixed RID width, and displacement releases a partition's
+// bytes wholesale.
+func TestEntryBytesAccounting(t *testing.T) {
+	_, b := newBuf(t, Config{P: 2}, []int{2, 1})
+	if b.EntryBytes() != 0 {
+		t.Fatalf("fresh buffer holds %d bytes", b.EntryBytes())
+	}
+	if err := b.BeginPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry(0, iv(10), rid(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEntry(0, iv(20), rid(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	per := iv(10).EncodedSize() + 6 // key bytes + RID (uint32 page + uint16 slot)
+	if got := b.EntryBytes(); got != 2*per {
+		t.Errorf("EntryBytes = %d, want %d", got, 2*per)
+	}
+	// Maintenance delete of a buffered entry returns its bytes.
+	b.MaintainDelete(iv(10), rid(0, 0), false)
+	if got := b.EntryBytes(); got != per {
+		t.Errorf("EntryBytes after delete = %d, want %d", got, per)
+	}
+	b.Reset()
+	if b.EntryBytes() != 0 {
+		t.Errorf("EntryBytes after Reset = %d", b.EntryBytes())
+	}
+}
+
+// TestCounterSummaryAndSkippable covers the sampling accessors the
+// timeline recorder is built on.
+func TestCounterSummaryAndSkippable(t *testing.T) {
+	_, b := newBuf(t, Config{}, []int{0, 4, 1, 0, 9})
+	st := b.CounterSummary()
+	if st.Pages != 5 || st.Skippable != 2 || st.Remaining != 14 {
+		t.Errorf("summary = %+v", st)
+	}
+	if st.Min != 1 || st.P50 != 4 || st.Max != 9 {
+		t.Errorf("distribution = %+v", st)
+	}
+	if got := st.Coverage(); got != 0.4 {
+		t.Errorf("coverage = %g", got)
+	}
+	zero, total := b.Skippable()
+	if zero != 2 || total != 5 {
+		t.Errorf("Skippable = %d/%d", zero, total)
+	}
+
+	// All-skippable: distribution collapses to zeros, coverage to 1.
+	_, full := newBuf(t, Config{}, []int{0, 0})
+	st = full.CounterSummary()
+	if st.Skippable != 2 || st.Min != 0 || st.Max != 0 || st.Coverage() != 1 {
+		t.Errorf("all-skippable summary = %+v", st)
+	}
+
+	// Empty counter array: coverage is 0, not NaN.
+	if (CounterStats{}).Coverage() != 0 {
+		t.Error("zero-page coverage not 0")
+	}
+}

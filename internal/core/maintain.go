@@ -37,7 +37,7 @@ func (b *IndexBuffer) maintainInsertLocked(v storage.Value, rid storage.RID, inI
 	b.uncovered[rid.Page]++
 	if part, ok := b.byPage[rid.Page]; ok {
 		// The page stays fully indexed by absorbing the new tuple.
-		if part.structure.Insert(v, rid) {
+		if part.insert(v, rid) {
 			b.space.addUsed(1)
 		}
 	}
@@ -59,7 +59,7 @@ func (b *IndexBuffer) maintainDeleteLocked(v storage.Value, rid storage.RID, was
 		b.uncovered[rid.Page]--
 	}
 	if part, ok := b.byPage[rid.Page]; ok {
-		if part.structure.Delete(v, rid) {
+		if part.remove(v, rid) {
 			b.space.addUsed(-1)
 		}
 	}

@@ -12,7 +12,22 @@ type Partition struct {
 	id        int
 	structure Structure
 	pages     map[storage.PageID]struct{}
+
+	// bytes is the exact encoded payload size of the partition's
+	// entries — Σ (key.EncodedSize() + ridBytes) over live entries —
+	// maintained by insert/remove so occupancy-in-bytes is O(1) to
+	// read. Structure overhead (tree nodes, hash tables) is not
+	// counted; this is the paper's budget unit (entries) expressed in
+	// bytes.
+	bytes int
 }
+
+// ridBytes is the encoded size of one storage.RID: a uint32 page id
+// plus a uint16 slot.
+const ridBytes = 6
+
+// entryBytes is the encoded payload size of one (key, rid) entry.
+func entryBytes(key storage.Value) int { return key.EncodedSize() + ridBytes }
 
 func newPartition(id int, f StructureFactory) *Partition {
 	return &Partition{id: id, structure: f(), pages: make(map[storage.PageID]struct{})}
@@ -27,6 +42,31 @@ func (p *Partition) PageCount() int { return len(p.pages) }
 // EntryCount returns n_p — the number of (key, rid) entries, the
 // partition's size in Index Buffer Space budget units.
 func (p *Partition) EntryCount() int { return p.structure.EntryCount() }
+
+// EntryBytes returns the exact encoded payload bytes of the
+// partition's entries.
+func (p *Partition) EntryBytes() int { return p.bytes }
+
+// insert adds one entry through the structure, keeping the byte count
+// in step. Reports whether the entry was actually added (the structure
+// dedupes).
+func (p *Partition) insert(key storage.Value, rid storage.RID) bool {
+	if p.structure.Insert(key, rid) {
+		p.bytes += entryBytes(key)
+		return true
+	}
+	return false
+}
+
+// remove deletes one entry through the structure, keeping the byte
+// count in step. Reports whether the entry was present.
+func (p *Partition) remove(key storage.Value, rid storage.RID) bool {
+	if p.structure.Delete(key, rid) {
+		p.bytes -= entryBytes(key)
+		return true
+	}
+	return false
+}
 
 // Covers reports whether the partition covers table page pg.
 func (p *Partition) Covers(pg storage.PageID) bool {

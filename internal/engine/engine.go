@@ -36,6 +36,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/storage"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -75,18 +76,28 @@ type Config struct {
 	// latency).
 	ReadLatency  time.Duration
 	WriteLatency time.Duration
+
+	// TimelineCapacity bounds each adaptation-timeline series' sample
+	// ring. Zero means timeline.DefaultCapacity.
+	TimelineCapacity int
+
+	// ConvergenceTarget is the coverage fraction the timeline's
+	// convergence detector watches for (queries-to-target). Zero means
+	// timeline.DefaultTarget (0.95).
+	ConvergenceTarget float64
 }
 
 const defaultPoolPages = 256
 
 // Engine is the top-level database object. Safe for concurrent use.
 type Engine struct {
-	mu     sync.RWMutex // catalog lock: guards tables (create/lookup only)
-	closed atomic.Bool
-	cfg    Config
-	space  *core.Space
-	tables map[string]*Table
-	tracer *trace.Tracer
+	mu       sync.RWMutex // catalog lock: guards tables (create/lookup only)
+	closed   atomic.Bool
+	cfg      Config
+	space    *core.Space
+	tables   map[string]*Table
+	tracer   *trace.Tracer
+	timeline *timeline.Recorder
 
 	sharedScans   metrics.SharedScanCounters
 	parallelScans metrics.ParallelScanCounters
@@ -124,28 +135,70 @@ func New(cfg Config) *Engine {
 		cfg.PoolPages = defaultPoolPages
 	}
 	e := &Engine{
-		cfg:    cfg,
-		space:  core.NewSpace(cfg.Space),
-		tables: make(map[string]*Table),
-		tracer: trace.New(traceCapacity),
+		cfg:      cfg,
+		space:    core.NewSpace(cfg.Space),
+		tables:   make(map[string]*Table),
+		tracer:   trace.New(traceCapacity),
+		timeline: timeline.New(cfg.TimelineCapacity, cfg.ConvergenceTarget),
 	}
 	// Route the Space's management events (Algorithm-2 page selection,
-	// displacement) into the tracer's span ring; emission is gated by the
-	// tracer's atomic enable flag, so the attached observer is free while
-	// span recording is off.
-	e.space.SetObserver(spaceSpans{e.tracer})
+	// displacement) into the tracer's span ring and the adaptation
+	// timeline; both consumers gate on their own atomic enable flag, so
+	// the attached observer is free while recording is off.
+	e.space.SetObserver(spaceSpans{tr: e.tracer, tl: e.timeline})
 	return e
 }
 
-// spaceSpans adapts the tracer's span ring to core.Observer.
-type spaceSpans struct{ tr *trace.Tracer }
+// spaceSpans fans core.Observer events out to the tracer's span ring
+// and the adaptation-timeline recorder. Both sides honor the Observer
+// contract: they only touch their own internally synchronized state
+// (the timeline merely bumps churn counters and marks the buffer dirty
+// for resampling at the next query boundary), never the Space or a
+// buffer — the callback runs with Space.mu held.
+type spaceSpans struct {
+	tr *trace.Tracer
+	tl *timeline.Recorder
+}
 
 func (s spaceSpans) SpaceEvent(kind, buffer string, page, n int) {
 	s.tr.Span(kind, buffer, page, n)
+	s.tl.NoteEvent(kind, buffer, page, n)
 }
 
 // Tracer exposes the engine's query monitor.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// Timeline exposes the engine's adaptation-timeline recorder. Enable it
+// with Timeline().Enable(true); sampling is off by default and costs
+// one atomic load per query while off.
+func (e *Engine) Timeline() *timeline.Recorder { return e.timeline }
+
+// Convergence returns the timeline's convergence verdicts — queries to
+// the configured coverage target per (table, column), regression flags
+// — sorted by buffer name. Empty until the timeline is enabled and
+// queries run.
+func (e *Engine) Convergence() []timeline.Convergence {
+	return e.timeline.Convergence()
+}
+
+// SetTelemetrySink streams structured telemetry — every trace span and
+// every timeline sample — to s as JSONL, enabling span recording and
+// timeline sampling as a side effect. A nil s detaches the sink and
+// leaves recording on (turn it off via Tracer().EnableSpans and
+// Timeline().Enable if desired).
+func (e *Engine) SetTelemetrySink(s *timeline.Sink) {
+	if s == nil {
+		e.tracer.SetSpanSink(nil)
+		e.timeline.SetSink(nil)
+		return
+	}
+	e.timeline.SetSink(s)
+	e.tracer.SetSpanSink(func(sp trace.Span) {
+		s.WriteSpan(timeline.SpanRecord{Seq: sp.Seq, Kind: sp.Kind, Target: sp.Target, Page: sp.Page, N: sp.N})
+	})
+	e.tracer.EnableSpans(true)
+	e.timeline.Enable(true)
+}
 
 // Space exposes the Index Buffer Space for inspection (entry counts,
 // stats). Callers must not mutate it.
@@ -573,6 +626,7 @@ func (t *Table) runEqual(ctx context.Context, a exec.Access, column int, key sto
 	if err == nil {
 		t.engine.noteScanWorkers(stats)
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
+		t.sampleTimeline(column, stats, false)
 	}
 	return matches, stats, err
 }
@@ -611,6 +665,7 @@ func (t *Table) runRange(ctx context.Context, a exec.Access, column int, lo, hi 
 	if err == nil {
 		t.engine.noteScanWorkers(stats)
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
+		t.sampleTimeline(column, stats, false)
 	}
 	return matches, stats, err
 }
@@ -650,11 +705,44 @@ func (t *Table) accessLocked(column int) (exec.Access, error) {
 		Parallelism: t.engine.cfg.ScanParallelism,
 	}
 	// The span callback (and the buffer-name string it captures) is built
-	// only while span recording is on, so a disabled tracer costs the
-	// access path one atomic load and zero allocations.
-	if tr := t.engine.tracer; tr.SpansEnabled() {
+	// only while a consumer is on — the tracer's span ring or the
+	// adaptation timeline — so with both disabled the access path costs
+	// two atomic loads and zero allocations. Inside the callback each
+	// consumer re-checks its own gate.
+	tr, tl := t.engine.tracer, t.engine.timeline
+	if tr.SpansEnabled() || tl.Enabled() {
 		target := t.bufferName(column)
-		a.Span = func(kind string, page, n int) { tr.Span(kind, target, page, n) }
+		a.Span = func(kind string, page, n int) {
+			tr.Span(kind, target, page, n)
+			tl.NoteEvent(kind, target, page, n)
+		}
 	}
 	return a, nil
+}
+
+// sampleTimeline records one query boundary in the adaptation timeline:
+// the queried column's mechanism mix and buffer state, plus a resample
+// of any buffer dirtied by adaptive events (e.g. a displacement victim
+// on another table) since the last boundary. Called with the table lock
+// held, shared or exclusive — the timeline recorder's lock is a strict
+// leaf and dirty buffers are resolved through the Space (Table.mu →
+// Space.mu is the documented order). Gated on one atomic load, so the
+// disabled path allocates nothing.
+func (t *Table) sampleTimeline(column int, stats exec.QueryStats, follower bool) {
+	tl := t.engine.timeline
+	if !tl.Enabled() {
+		return
+	}
+	var mech timeline.Mechanism
+	switch {
+	case stats.PartialHit:
+		mech = timeline.MechHit
+	case follower:
+		mech = timeline.MechFollower
+	case stats.FullScan:
+		mech = timeline.MechFullScan
+	default:
+		mech = timeline.MechIndexingScan
+	}
+	tl.ObserveQuery(t.name, t.schema.Column(column).Name, mech, t.buffers[column], t.engine.space.Buffer)
 }

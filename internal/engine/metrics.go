@@ -85,50 +85,85 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	m.head("aib_buffer_entries", "Entries held by one Index Buffer.", "gauge")
 	bufs := e.space.Buffers()
 	for _, b := range bufs {
-		m.printf("aib_buffer_entries{buffer=%q} %d\n", escapeLabel(b.Name()), b.EntryCount())
+		m.printf("aib_buffer_entries{buffer=\"%s\"} %d\n", escapeLabel(b.Name()), b.EntryCount())
 	}
 	m.head("aib_buffer_partitions", "Partitions held by one Index Buffer.", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_partitions{buffer=%q} %d\n", escapeLabel(b.Name()), b.PartitionCount())
+		m.printf("aib_buffer_partitions{buffer=\"%s\"} %d\n", escapeLabel(b.Name()), b.PartitionCount())
 	}
 	m.head("aib_buffer_buffered_pages", "Table pages fully indexed by one Index Buffer (C[p] = 0).", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_buffered_pages{buffer=%q} %d\n", escapeLabel(b.Name()), b.BufferedPages())
+		m.printf("aib_buffer_buffered_pages{buffer=\"%s\"} %d\n", escapeLabel(b.Name()), b.BufferedPages())
 	}
 	m.head("aib_buffer_benefit", "Benefit estimate of one Index Buffer (entries per interval).", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_benefit{buffer=%q} %g\n", escapeLabel(b.Name()), b.Benefit())
+		m.printf("aib_buffer_benefit{buffer=\"%s\"} %g\n", escapeLabel(b.Name()), b.Benefit())
 	}
 	m.head("aib_buffer_mean_interval", "Mean LRU-K reference interval of one Index Buffer.", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_mean_interval{buffer=%q} %g\n", escapeLabel(b.Name()), b.History().Mean())
+		m.printf("aib_buffer_mean_interval{buffer=\"%s\"} %g\n", escapeLabel(b.Name()), b.History().Mean())
+	}
+	m.head("aib_buffer_bytes", "Encoded payload bytes held by one Index Buffer.", "gauge")
+	for _, b := range bufs {
+		m.printf("aib_buffer_bytes{buffer=\"%s\"} %d\n", escapeLabel(b.Name()), b.EntryBytes())
+	}
+	m.head("aib_coverage_ratio", "Fraction of one buffer's table pages that are skippable (C[p] = 0).", "gauge")
+	for _, b := range bufs {
+		zero, total := b.Skippable()
+		cov := 0.0
+		if total > 0 {
+			cov = float64(zero) / float64(total)
+		}
+		m.printf("aib_coverage_ratio{buffer=\"%s\"} %g\n", escapeLabel(b.Name()), cov)
+	}
+
+	// Adaptation-timeline convergence verdicts. Queries-to-target is
+	// only defined for series that reached the target; the achieved
+	// gauge lets a scraper tell "not yet" from "never sampled".
+	convs := e.timeline.Convergence()
+	m.head("aib_convergence_achieved", "Whether the buffer's coverage ever reached the convergence target (1 = yes).", "gauge")
+	for _, c := range convs {
+		v := 0
+		if c.Achieved {
+			v = 1
+		}
+		m.printf("aib_convergence_achieved{buffer=\"%s\",target=\"%g\"} %d\n",
+			escapeLabel(c.Buffer), c.Target, v)
+	}
+	m.head("aib_convergence_queries", "Queries until the buffer's coverage first reached the convergence target.", "gauge")
+	for _, c := range convs {
+		if !c.Achieved {
+			continue
+		}
+		m.printf("aib_convergence_queries{buffer=\"%s\",target=\"%g\"} %d\n",
+			escapeLabel(c.Buffer), c.Target, c.QueriesToTarget)
 	}
 
 	// Per-column query aggregates from the tracer.
 	aggs := e.tracer.Aggregates()
 	m.head("aib_queries_total", "Queries answered, by table and column.", "counter")
 	for _, a := range aggs {
-		m.printf("aib_queries_total{table=%q,column=%q} %d\n",
+		m.printf("aib_queries_total{table=\"%s\",column=\"%s\"} %d\n",
 			escapeLabel(a.Table), escapeLabel(a.Column), a.Queries)
 	}
 	m.head("aib_query_hits_total", "Queries answered by the partial index alone.", "counter")
 	for _, a := range aggs {
-		m.printf("aib_query_hits_total{table=%q,column=%q} %d\n",
+		m.printf("aib_query_hits_total{table=\"%s\",column=\"%s\"} %d\n",
 			escapeLabel(a.Table), escapeLabel(a.Column), a.Hits)
 	}
 	m.head("aib_pages_read_total", "Heap pages fetched by queries.", "counter")
 	for _, a := range aggs {
-		m.printf("aib_pages_read_total{table=%q,column=%q} %d\n",
+		m.printf("aib_pages_read_total{table=\"%s\",column=\"%s\"} %d\n",
 			escapeLabel(a.Table), escapeLabel(a.Column), a.PagesRead)
 	}
 	m.head("aib_pages_skipped_total", "Pages skipped by indexing scans because C[p] = 0.", "counter")
 	for _, a := range aggs {
-		m.printf("aib_pages_skipped_total{table=%q,column=%q} %d\n",
+		m.printf("aib_pages_skipped_total{table=\"%s\",column=\"%s\"} %d\n",
 			escapeLabel(a.Table), escapeLabel(a.Column), a.PagesSkipped)
 	}
 	m.head("aib_query_wall_microseconds_total", "Wall-clock time spent answering queries.", "counter")
 	for _, a := range aggs {
-		m.printf("aib_query_wall_microseconds_total{table=%q,column=%q} %d\n",
+		m.printf("aib_query_wall_microseconds_total{table=\"%s\",column=\"%s\"} %d\n",
 			escapeLabel(a.Table), escapeLabel(a.Column), a.WallMicros)
 	}
 
@@ -138,11 +173,11 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	m.head("aib_query_latency_microseconds", "Query latency by execution mechanism.", "summary")
 	for _, l := range e.tracer.LatencyStats() {
 		mech := escapeLabel(l.Mechanism)
-		m.printf("aib_query_latency_microseconds{mechanism=%q,quantile=\"0.5\"} %g\n", mech, l.P50)
-		m.printf("aib_query_latency_microseconds{mechanism=%q,quantile=\"0.95\"} %g\n", mech, l.P95)
-		m.printf("aib_query_latency_microseconds{mechanism=%q,quantile=\"0.99\"} %g\n", mech, l.P99)
-		m.printf("aib_query_latency_microseconds_sum{mechanism=%q} %g\n", mech, l.Sum)
-		m.printf("aib_query_latency_microseconds_count{mechanism=%q} %d\n", mech, l.Count)
+		m.printf("aib_query_latency_microseconds{mechanism=\"%s\",quantile=\"0.5\"} %g\n", mech, l.P50)
+		m.printf("aib_query_latency_microseconds{mechanism=\"%s\",quantile=\"0.95\"} %g\n", mech, l.P95)
+		m.printf("aib_query_latency_microseconds{mechanism=\"%s\",quantile=\"0.99\"} %g\n", mech, l.P99)
+		m.printf("aib_query_latency_microseconds_sum{mechanism=\"%s\"} %g\n", mech, l.Sum)
+		m.printf("aib_query_latency_microseconds_count{mechanism=\"%s\"} %d\n", mech, l.Count)
 	}
 
 	// Span machinery state.
@@ -154,6 +189,16 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		enabled = 1
 	}
 	m.printf("aib_trace_spans_enabled %d\n", enabled)
+
+	// Timeline machinery state.
+	m.head("aib_timeline_samples_total", "Timeline samples taken since the engine started (survives ring eviction and Reset).", "counter")
+	m.printf("aib_timeline_samples_total %d\n", e.timeline.SampleCount())
+	m.head("aib_timeline_enabled", "Whether adaptation-timeline sampling is currently on.", "gauge")
+	tlOn := 0
+	if e.timeline.Enabled() {
+		tlOn = 1
+	}
+	m.printf("aib_timeline_enabled %d\n", tlOn)
 
 	return m.err
 }

@@ -96,8 +96,9 @@ type Access struct {
 	// currently "scan-parallel" (the scan fanned out, n = workers) and
 	// "page-complete" (page fully buffered, the C[p]→0 transition) with
 	// the page id and the entries added for it. The engine wires it to
-	// the tracer's span ring only while span recording is enabled, so the
-	// nil check is the entire disabled-path cost.
+	// the tracer's span ring and the adaptation-timeline recorder only
+	// while at least one of them is enabled, so the nil check is the
+	// entire disabled-path cost.
 	Span func(kind string, page, n int)
 }
 

@@ -39,6 +39,29 @@ func (c *ParallelScanCounters) Snapshot() ParallelScanStats {
 	return ParallelScanStats{Scans: c.Scans.Load(), Workers: c.Workers.Load()}
 }
 
+// ScrapeCounters counts /metrics scrape outcomes for the obs HTTP
+// layer. A scrape that fails after the response headers are out cannot
+// signal the client with a status code, so the failure is recorded
+// here and surfaced on the *next* successful scrape as
+// aib_scrape_errors_total.
+type ScrapeCounters struct {
+	// Scrapes counts scrape attempts against a live engine.
+	Scrapes atomic.Uint64
+	// Errors counts scrapes whose response write failed mid-stream.
+	Errors atomic.Uint64
+}
+
+// ScrapeStats is a point-in-time reading of ScrapeCounters.
+type ScrapeStats struct {
+	Scrapes uint64 // scrape attempts
+	Errors  uint64 // mid-stream write failures
+}
+
+// Snapshot reads the counters.
+func (c *ScrapeCounters) Snapshot() ScrapeStats {
+	return ScrapeStats{Scrapes: c.Scrapes.Load(), Errors: c.Errors.Load()}
+}
+
 // SharedScanStats is a point-in-time reading of SharedScanCounters.
 type SharedScanStats struct {
 	Misses   uint64 // miss queries admitted

@@ -1,53 +1,182 @@
 // Package obs mounts the engine's observability surface on HTTP: a
-// Prometheus /metrics endpoint rendered by engine.WriteMetrics, and the
-// standard net/http/pprof profiling handlers under /debug/pprof/. It is
-// opt-in — nothing listens unless a cmd tool is started with -listen —
-// and it registers on a private mux, never on http.DefaultServeMux, so
-// importing this package has no global side effects.
+// Prometheus /metrics endpoint rendered by engine.WriteMetrics, a
+// /timeline JSON endpoint over the adaptation-timeline recorder, a
+// /healthz liveness probe, and the standard net/http/pprof profiling
+// handlers under /debug/pprof/. It is opt-in — nothing listens unless a
+// cmd tool is started with -listen — and it registers on a private mux,
+// never on http.DefaultServeMux, so importing this package has no
+// global side effects.
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/timeline"
 )
 
-// Handler returns an http.Handler serving the engine's observability
-// endpoints:
+// Server is the observability surface bound to one (possibly moving)
+// engine. It implements http.Handler and additionally exposes its
+// scrape counters, so tools and tests can assert that no /metrics
+// response failed mid-stream.
 //
 //	/metrics            Prometheus text exposition (v0.0.4)
+//	/timeline           adaptation timeline + convergence as JSON,
+//	                    filtered by ?table= and ?column=
+//	/healthz            200 + build info JSON (liveness probe)
 //	/debug/pprof/       pprof index, plus cmdline, profile, symbol, trace
-func Handler(eng *engine.Engine) http.Handler {
-	return DynamicHandler(func() *engine.Engine { return eng })
+type Server struct {
+	current func() *engine.Engine
+	mux     *http.ServeMux
+	scrapes metrics.ScrapeCounters
 }
 
-// DynamicHandler is Handler for a moving target: current resolves the
-// engine per request, so a tool that builds a fresh engine per
+// NewServer builds the surface for a moving target: current resolves
+// the engine per request, so a tool that builds a fresh engine per
 // experiment (cmd/aibench) can expose whichever one is running. A nil
-// engine turns /metrics into 503; pprof always works — it profiles the
-// process, not an engine.
+// engine turns /metrics and /timeline into 503; /healthz and pprof
+// always work — they describe the process, not an engine.
+func NewServer(current func() *engine.Engine) *Server {
+	s := &Server{current: current, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/timeline", s.handleTimeline)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP dispatches to the surface's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ScrapeStats reads the /metrics scrape counters.
+func (s *Server) ScrapeStats() metrics.ScrapeStats {
+	return s.scrapes.Snapshot()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	eng := s.current()
+	if eng == nil {
+		http.Error(w, "no engine running", http.StatusServiceUnavailable)
+		return
+	}
+	s.scrapes.Scrapes.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	err := eng.WriteMetrics(w)
+	if err == nil {
+		// Append the scrape families after the engine's. The snapshot
+		// was taken after this scrape's Scrapes bump, so the pair is
+		// consistent; a failure of this scrape necessarily surfaces on
+		// the *next* successful one (its own response is already dead).
+		err = writeScrapeMetrics(w, s.scrapes.Snapshot())
+	}
+	if err != nil {
+		// Headers are already out, so the client cannot be signaled
+		// with a status code — count the failure instead and let the
+		// aib_scrape_errors_total family report it.
+		s.scrapes.Errors.Add(1)
+	}
+}
+
+// writeScrapeMetrics renders the scrape counters in the exposition
+// format, matching engine.WriteMetrics' conventions.
+func writeScrapeMetrics(w http.ResponseWriter, st metrics.ScrapeStats) error {
+	const text = "# HELP aib_scrapes_total Scrape attempts against a live engine, including this one.\n" +
+		"# TYPE aib_scrapes_total counter\n" +
+		"aib_scrapes_total %d\n" +
+		"# HELP aib_scrape_errors_total Scrapes whose response write failed after headers were sent.\n" +
+		"# TYPE aib_scrape_errors_total counter\n" +
+		"aib_scrape_errors_total %d\n"
+	_, err := fmt.Fprintf(w, text, st.Scrapes, st.Errors)
+	return err
+}
+
+// timelineResponse is the /timeline JSON document.
+type timelineResponse struct {
+	Series      []timeline.Series      `json:"series"`
+	Convergence []timeline.Convergence `json:"convergence"`
+	Enabled     bool                   `json:"enabled"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	eng := s.current()
+	if eng == nil {
+		http.Error(w, "no engine running", http.StatusServiceUnavailable)
+		return
+	}
+	table := r.URL.Query().Get("table")
+	column := r.URL.Query().Get("column")
+	match := func(t, c string) bool {
+		return (table == "" || t == table) && (column == "" || c == column)
+	}
+	resp := timelineResponse{
+		Series:      []timeline.Series{},
+		Convergence: []timeline.Convergence{},
+		Enabled:     eng.Timeline().Enabled(),
+	}
+	for _, ser := range eng.Timeline().Series() {
+		if match(ser.Table, ser.Column) {
+			resp.Series = append(resp.Series, ser)
+		}
+	}
+	for _, c := range eng.Convergence() {
+		if match(c.Table, c.Column) {
+			resp.Convergence = append(resp.Convergence, c)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// healthResponse is the /healthz JSON document: enough build identity
+// for a load balancer or a test to tell what is answering.
+type healthResponse struct {
+	Status    string `json:"status"`
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Engine    bool   `json:"engine"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:    "ok",
+		GoVersion: runtime.Version(),
+		Engine:    s.current() != nil,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// Handler returns the observability surface for one fixed engine.
+func Handler(eng *engine.Engine) http.Handler {
+	return NewServer(func() *engine.Engine { return eng })
+}
+
+// DynamicHandler is Handler for a moving target; see NewServer.
 func DynamicHandler(current func() *engine.Engine) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		eng := current()
-		if eng == nil {
-			http.Error(w, "no engine running", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := eng.WriteMetrics(w); err != nil {
-			// Headers are already out; nothing useful to do but stop.
-			return
-		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return NewServer(current)
 }
 
 // Serve binds addr (e.g. "localhost:9090", or ":0" for an ephemeral
@@ -61,6 +190,12 @@ func Serve(addr string, eng *engine.Engine) (*http.Server, string, error) {
 // ServeDynamic is Serve over a DynamicHandler.
 func ServeDynamic(addr string, current func() *engine.Engine) (*http.Server, string, error) {
 	return serve(addr, DynamicHandler(current))
+}
+
+// Start is Serve over this Server, keeping a handle on the scrape
+// counters (unlike ServeDynamic, which hides the Server value).
+func (s *Server) Start(addr string) (*http.Server, string, error) {
+	return serve(addr, s)
 }
 
 func serve(addr string, h http.Handler) (*http.Server, string, error) {

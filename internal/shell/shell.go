@@ -10,12 +10,14 @@ import (
 	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/storage"
+	"repro/internal/timeline"
 )
 
 // Aliases keep the rendering helpers readable.
 type (
-	engineMatch = exec.Match
-	engineStats = exec.QueryStats
+	engineMatch       = exec.Match
+	engineStats       = exec.QueryStats
+	engineConvergence = timeline.Convergence
 )
 
 // Shell evaluates commands against one engine. It is not safe for
@@ -142,7 +144,7 @@ const helpText = `commands:
   SELECT * FROM table WHERE col = value
   SELECT * FROM table WHERE col BETWEEN lo AND hi
   EXPLAIN SELECT * FROM table WHERE ...
-  SHOW TABLES | SHOW BUFFERS | SHOW INDEXES | SHOW STATS
+  SHOW TABLES | SHOW BUFFERS | SHOW INDEXES | SHOW STATS | SHOW TIMELINE
   VACUUM table
   SAVE   (persist a DataDir-backed database)
   HELP | EXIT`
@@ -672,6 +674,8 @@ func (s *Shell) evalShow(p *parser) (Result, error) {
 		return Result{Output: sb.String()}, nil
 	case "STATS":
 		return Result{Output: s.eng.Tracer().Report()}, nil
+	case "TIMELINE":
+		return s.showTimeline()
 	case "INDEXES":
 		var sb strings.Builder
 		found := false
@@ -692,6 +696,48 @@ func (s *Shell) evalShow(p *parser) (Result, error) {
 		}
 		return Result{Output: sb.String()}, nil
 	default:
-		return Result{}, fmt.Errorf("SHOW %s not supported (want TABLES, BUFFERS or INDEXES)", what.text)
+		return Result{}, fmt.Errorf("SHOW %s not supported (want TABLES, BUFFERS, INDEXES, STATS or TIMELINE)", what.text)
 	}
+}
+
+// showTimeline renders the adaptation timeline: one line per buffer
+// with the latest coverage sample and the convergence verdict.
+func (s *Shell) showTimeline() (Result, error) {
+	tl := s.eng.Timeline()
+	if !tl.Enabled() {
+		return Result{Output: "timeline sampling is off (start aibshell with -listen, or enable it programmatically)"}, nil
+	}
+	series := tl.Series()
+	if len(series) == 0 {
+		return Result{Output: "no timeline samples yet (run some queries)"}, nil
+	}
+	verdicts := make(map[string]engineConvergence, len(series))
+	for _, c := range s.eng.Convergence() {
+		verdicts[c.Buffer] = c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %8s %9s %10s %9s %10s %8s %8s\n",
+		"buffer", "queries", "coverage", "converged", "entries", "bytes", "displ", "samples")
+	for _, ser := range series {
+		var last engineConvergence = verdicts[ser.Buffer]
+		conv := "-"
+		if last.Achieved {
+			conv = fmt.Sprintf("@%d", last.QueriesToTarget)
+			if last.Regressed {
+				conv += "!"
+			}
+		}
+		entries, bytes := 0, 0
+		var displ uint64
+		if n := len(ser.Samples); n > 0 {
+			latest := ser.Samples[n-1]
+			entries, bytes = latest.Entries, latest.Bytes
+			displ = latest.Displacements
+		}
+		fmt.Fprintf(&sb, "%-20s %8d %8.1f%% %10s %9d %10d %8d %8d\n",
+			ser.Buffer, last.Queries, 100*last.Coverage, conv, entries, bytes, displ, len(ser.Samples))
+	}
+	fmt.Fprintf(&sb, "coverage target %.0f%%; '@N' = converged at query N, '!' = regressed below target",
+		100*tl.Target())
+	return Result{Output: sb.String()}, nil
 }

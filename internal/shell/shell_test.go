@@ -381,3 +381,30 @@ func TestDropIndexCommand(t *testing.T) {
 	mustFail(t, s, "DROP INDEX ON t (nope)")
 	mustFail(t, s, "DROP TABLE t")
 }
+
+func TestShowTimeline(t *testing.T) {
+	s := newShell(t)
+	r := mustEval(t, s, "SHOW TIMELINE")
+	if !strings.Contains(r.Output, "timeline sampling is off") {
+		t.Errorf("disabled timeline = %q", r.Output)
+	}
+
+	s.eng.Timeline().Enable(true)
+	if r = mustEval(t, s, "SHOW TIMELINE"); !strings.Contains(r.Output, "no timeline samples yet") {
+		t.Errorf("empty timeline = %q", r.Output)
+	}
+
+	mustEval(t, s, "CREATE TABLE t (a INT, b VARCHAR)")
+	mustEval(t, s, "INSERT INTO t VALUES (1, 'x'), (30, 'y'), (31, 'z')")
+	mustEval(t, s, "CREATE PARTIAL INDEX ON t (a) COVERING 0 TO 10")
+	mustEval(t, s, "SELECT * FROM t WHERE a = 30") // miss: builds the buffer
+	mustEval(t, s, "SELECT * FROM t WHERE a = 31")
+	r = mustEval(t, s, "SHOW TIMELINE")
+	for _, want := range []string{"buffer", "coverage", "t.a", "@1", "coverage target 95%"} {
+		if !strings.Contains(r.Output, want) {
+			t.Errorf("SHOW TIMELINE missing %q:\n%s", want, r.Output)
+		}
+	}
+
+	mustFail(t, s, "SHOW NONSENSE")
+}

@@ -1,0 +1,166 @@
+package timeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Record type tags, first field of every exported line.
+const (
+	// RecordSample tags a timeline sample line.
+	RecordSample = "sample"
+	// RecordSpan tags a trace span line.
+	RecordSpan = "span"
+)
+
+// SampleRecord is one exported timeline sample: the record envelope
+// (type + series identity) around the embedded Sample fields.
+type SampleRecord struct {
+	Type   string `json:"type"`
+	Buffer string `json:"buffer"`
+	Table  string `json:"table,omitempty"`
+	Column string `json:"column,omitempty"`
+	Sample
+}
+
+// SpanRecord is one exported trace span (the trace package's Span
+// fields; duplicated here so decoding telemetry needs only this
+// package).
+type SpanRecord struct {
+	Type   string `json:"type"`
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Target string `json:"target"`
+	Page   int    `json:"page"`
+	N      int    `json:"n"`
+}
+
+// SinkStats is a point-in-time reading of a sink's counters.
+type SinkStats struct {
+	Lines  uint64 // records successfully written
+	Errors uint64 // write or marshal failures (records dropped)
+}
+
+// Sink streams telemetry records to an io.Writer as JSONL — one JSON
+// object per line, append-only, so a crash mid-run loses at most the
+// last line and aibench can replay Fig. 5/6-style curves from the file.
+// Writes are serialized by an internal mutex; a failed write drops that
+// record and bumps Errors rather than blocking or panicking, keeping
+// the telemetry path non-fatal to the engine.
+type Sink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	lines   atomic.Uint64
+	errors  atomic.Uint64
+	lastErr atomic.Pointer[error]
+}
+
+// NewSink wraps w. The caller owns w's lifecycle (flush/close).
+func NewSink(w io.Writer) *Sink {
+	return &Sink{w: w}
+}
+
+// WriteSample exports one sample record.
+func (s *Sink) WriteSample(rec SampleRecord) {
+	rec.Type = RecordSample
+	s.writeJSON(rec)
+}
+
+// WriteSpan exports one span record.
+func (s *Sink) WriteSpan(rec SpanRecord) {
+	rec.Type = RecordSpan
+	s.writeJSON(rec)
+}
+
+func (s *Sink) writeJSON(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	_, err = s.w.Write(b)
+	s.mu.Unlock()
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	s.lines.Add(1)
+}
+
+func (s *Sink) fail(err error) {
+	s.errors.Add(1)
+	s.lastErr.Store(&err)
+}
+
+// Stats reads the sink's counters.
+func (s *Sink) Stats() SinkStats {
+	return SinkStats{Lines: s.lines.Load(), Errors: s.errors.Load()}
+}
+
+// Err returns the most recent write/marshal failure, nil if none.
+func (s *Sink) Err() error {
+	if p := s.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ScanRecords decodes a JSONL telemetry stream, dispatching each record
+// to the matching callback (either may be nil to skip that type). It
+// returns the number of records decoded; a malformed line, an unknown
+// record type, or a callback error stops the scan with an error naming
+// the line. This is the decode half of the sink — aibench's
+// -verify-telemetry mode and the replay tests are built on it.
+func ScanRecords(r io.Reader, onSample func(SampleRecord) error, onSpan func(SpanRecord) error) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n, line := 0, 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return n, fmt.Errorf("timeline: line %d: %w", line, err)
+		}
+		switch probe.Type {
+		case RecordSample:
+			var rec SampleRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return n, fmt.Errorf("timeline: line %d: %w", line, err)
+			}
+			if onSample != nil {
+				if err := onSample(rec); err != nil {
+					return n, fmt.Errorf("timeline: line %d: %w", line, err)
+				}
+			}
+		case RecordSpan:
+			var rec SpanRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return n, fmt.Errorf("timeline: line %d: %w", line, err)
+			}
+			if onSpan != nil {
+				if err := onSpan(rec); err != nil {
+					return n, fmt.Errorf("timeline: line %d: %w", line, err)
+				}
+			}
+		default:
+			return n, fmt.Errorf("timeline: line %d: unknown record type %q", line, probe.Type)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("timeline: %w", err)
+	}
+	return n, nil
+}

@@ -132,6 +132,11 @@ type Tracer struct {
 	spansOn atomic.Bool   // gate checked before any span work
 	seq     atomic.Uint64 // monotonic span sequence, survives Reset
 
+	// spanSink, when set, receives every recorded span after it enters
+	// the ring — the telemetry-export tap. Atomic so Span's hot path
+	// never takes a lock for it.
+	spanSink atomic.Pointer[func(Span)]
+
 	spanMu     sync.Mutex
 	spans      []Span
 	spanNext   int
@@ -223,17 +228,27 @@ func (t *Tracer) record(table, column, mech string, stats exec.QueryStats) {
 	h.Observe(float64(ev.WallMicros))
 }
 
+// clampTake bounds a caller-supplied "last n" request to what a ring
+// actually holds: negative n reads as 0 (historically Recent panicked
+// on the negative make cap) and oversized n reads as everything
+// retained. Recent and Spans share it so the two rings can never
+// drift apart on boundary behavior again.
+func clampTake(n, filled int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > filled {
+		return filled
+	}
+	return n
+}
+
 // Recent returns up to n most-recent events, newest first. n < 0 is
 // treated as 0 (historically this panicked on the negative make cap).
 func (t *Tracer) Recent(n int) []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if n < 0 {
-		n = 0
-	}
-	if n > t.filled {
-		n = t.filled
-	}
+	n = clampTake(n, t.filled)
 	out := make([]Event, 0, n)
 	for i := 1; i <= n; i++ {
 		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
@@ -305,6 +320,22 @@ func (t *Tracer) Span(kind, target string, page, n int) {
 		t.spanFilled++
 	}
 	t.spanMu.Unlock()
+	if fn := t.spanSink.Load(); fn != nil {
+		(*fn)(sp)
+	}
+}
+
+// SetSpanSink registers fn to receive every span after it enters the
+// ring (nil unregisters). The span gate still applies — a sink sees
+// nothing while spans are disabled — and fn runs on the emitting
+// goroutine, so it must be fast and must not call back into the
+// tracer's span path.
+func (t *Tracer) SetSpanSink(fn func(Span)) {
+	if fn == nil {
+		t.spanSink.Store(nil)
+		return
+	}
+	t.spanSink.Store(&fn)
 }
 
 // Spans returns up to n most-recent span events, newest first (n < 0 is
@@ -312,12 +343,7 @@ func (t *Tracer) Span(kind, target string, page, n int) {
 func (t *Tracer) Spans(n int) []Span {
 	t.spanMu.Lock()
 	defer t.spanMu.Unlock()
-	if n < 0 {
-		n = 0
-	}
-	if n > t.spanFilled {
-		n = t.spanFilled
-	}
+	n = clampTake(n, t.spanFilled)
 	out := make([]Span, 0, n)
 	for i := 1; i <= n; i++ {
 		out = append(out, t.spans[(t.spanNext-i+len(t.spans))%len(t.spans)])

@@ -306,3 +306,81 @@ func TestCapacityClamp(t *testing.T) {
 		t.Errorf("recent = %d", len(got))
 	}
 }
+
+// TestRecentSpansClampBoundaries pins the shared clamp behavior of the
+// two ring readers at every boundary: negative, zero, partial, exact,
+// and oversized n must behave identically for Recent and Spans.
+func TestRecentSpansClampBoundaries(t *testing.T) {
+	const capacity, recorded = 4, 3
+	tr := New(capacity)
+	tr.EnableSpans(true)
+	for i := 0; i < recorded; i++ {
+		tr.Record("t", "a", stats(false, false, 1, 0, 0))
+		tr.Span(SpanMissAdmit, "t.a", -1, 0)
+	}
+	cases := []struct {
+		name string
+		n    int
+		want int
+	}{
+		{"negative", -1, 0},
+		{"very negative", -1 << 30, 0},
+		{"zero", 0, 0},
+		{"partial", 2, 2},
+		{"exact", recorded, recorded},
+		{"over filled", recorded + 1, recorded},
+		{"over capacity", capacity + 100, recorded},
+		{"huge", 1 << 30, recorded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(tr.Recent(tc.n)); got != tc.want {
+				t.Errorf("Recent(%d) = %d events, want %d", tc.n, got, tc.want)
+			}
+			if got := len(tr.Spans(tc.n)); got != tc.want {
+				t.Errorf("Spans(%d) = %d spans, want %d", tc.n, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpanSink covers the telemetry tap: the sink sees every span after
+// it enters the ring, respects the span gate, and detaches cleanly.
+func TestSpanSink(t *testing.T) {
+	tr := New(8)
+	var mu sync.Mutex
+	var got []Span
+	tr.SetSpanSink(func(sp Span) {
+		mu.Lock()
+		got = append(got, sp)
+		mu.Unlock()
+	})
+
+	// Gate closed: sink sees nothing.
+	tr.Span(SpanDisplace, "t.a", 3, 2)
+	if len(got) != 0 {
+		t.Fatalf("sink fired while spans disabled: %+v", got)
+	}
+
+	tr.EnableSpans(true)
+	tr.Span(SpanDisplace, "t.a", 3, 2)
+	tr.Span(SpanPageComplete, "t.a", 4, 7)
+	if len(got) != 2 {
+		t.Fatalf("sink saw %d spans, want 2", len(got))
+	}
+	if got[0].Kind != SpanDisplace || got[0].Page != 3 || got[0].N != 2 {
+		t.Errorf("first sunk span = %+v", got[0])
+	}
+	if got[1].Seq != got[0].Seq+1 {
+		t.Errorf("sink spans out of sequence: %d then %d", got[0].Seq, got[1].Seq)
+	}
+
+	tr.SetSpanSink(nil)
+	tr.Span(SpanMissAdmit, "t.a", -1, 0)
+	if len(got) != 2 {
+		t.Errorf("sink fired after detach: %d spans", len(got))
+	}
+	if tr.SpanCount() != 3 {
+		t.Errorf("ring recording disturbed by sink lifecycle: %d spans", tr.SpanCount())
+	}
+}
