@@ -49,6 +49,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/shell"
 	"repro/internal/storage"
 	"repro/internal/timeline"
 	"repro/internal/trace"
@@ -95,6 +96,27 @@ type Options struct {
 	// takes a real device's shape. Ignored for DataDir-backed tables.
 	ReadLatency  time.Duration
 	WriteLatency time.Duration
+	// Tenants declares the database's budget domains: each tenant's
+	// Index Buffers compete within the tenant's entry quota before the
+	// global pool, and an over-quota tenant's misses degrade to
+	// unindexed scans instead of evicting other tenants' buffers (or
+	// fail with ErrQuotaExceeded for a strict tenant). Tables created
+	// through a tenant Session are visible to that tenant only. More
+	// tenants can be added later with CreateTenant.
+	Tenants []Tenant
+}
+
+// Tenant declares one budget domain for Options.Tenants / CreateTenant.
+type Tenant struct {
+	// Name identifies the tenant; it must be unique and non-empty ("" is
+	// the default tenant, which always exists and has no quota).
+	Name string
+	// Quota is the tenant's Index Buffer entry budget carved from
+	// SpaceLimit; 0 means unlimited.
+	Quota int
+	// Strict makes over-quota misses fail with ErrQuotaExceeded instead
+	// of degrading to unindexed scans.
+	Strict bool
 }
 
 // Structure enumerates the index structures an Index Buffer can use —
@@ -125,6 +147,8 @@ func (s Structure) factory() core.StructureFactory {
 // DB is a database instance.
 type DB struct {
 	eng *engine.Engine
+	// sh evaluates statements for Exec, scoped to the default tenant.
+	sh *shell.Shell
 	// sink is the attached telemetry sink, if any (EnableTelemetrySink).
 	sink *timeline.Sink
 }
@@ -140,7 +164,7 @@ func OpenExisting(o Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	return newDB(eng, o)
 }
 
 // Open creates a new database (in-memory unless o.DataDir is set). It
@@ -150,7 +174,18 @@ func Open(o Options) (*DB, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return &DB{eng: engine.New(engineConfig(o))}, nil
+	return newDB(engine.New(engineConfig(o)), o)
+}
+
+// newDB wraps a constructed engine, registering the declared tenants.
+func newDB(eng *engine.Engine, o Options) (*DB, error) {
+	db := &DB{eng: eng, sh: shell.New(eng)}
+	for _, tn := range o.Tenants {
+		if _, err := eng.CreateTenant(tn.Name, tn.Quota, tn.Strict); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // MustOpen is Open for tests and examples where invalid options are a
@@ -184,6 +219,18 @@ func (o Options) validate() error {
 	case BTree, CSBTree, HashTable:
 	default:
 		return fmt.Errorf("repro: unknown Options.Structure %d", o.Structure)
+	}
+	seen := make(map[string]bool, len(o.Tenants))
+	for _, tn := range o.Tenants {
+		switch {
+		case tn.Name == "":
+			return fmt.Errorf("repro: Options.Tenants has an empty tenant name")
+		case tn.Quota < 0:
+			return fmt.Errorf("repro: tenant %q quota %d is negative", tn.Name, tn.Quota)
+		case seen[tn.Name]:
+			return fmt.Errorf("repro: duplicate tenant %q", tn.Name)
+		}
+		seen[tn.Name] = true
 	}
 	return nil
 }
@@ -626,6 +673,14 @@ func (db *DB) WriteMetrics(w io.Writer) error { return db.eng.WriteMetrics(w) }
 // /debug/pprof/* for this database. Mount it on a server of your
 // choosing; nothing listens unless you do.
 func (db *DB) MetricsHandler() http.Handler { return obs.Handler(db.eng) }
+
+// ServeMetrics binds addr (e.g. "localhost:9090", or ":0" for an
+// ephemeral port) and serves MetricsHandler on it in a background
+// goroutine. It returns the server and the bound address; shut down
+// with srv.Close or srv.Shutdown.
+func (db *DB) ServeMetrics(addr string) (*http.Server, string, error) {
+	return obs.Serve(addr, db.eng)
+}
 
 // TimelineSample is one adaptation-timeline data point: coverage
 // fraction, C[p] distribution summary, occupancy, churn counters and

@@ -1,8 +1,8 @@
-// Command aibshell is an interactive shell over the engine. It speaks a
-// small SQL-ish language (type HELP at the prompt) and is the quickest
-// way to watch the Adaptive Index Buffer work: create a table, add a
-// partial index, query an uncovered value twice, and see the second
-// query's pages-skipped count jump.
+// Command aibshell is an interactive shell over the database. It speaks
+// a small SQL-ish language (type HELP at the prompt) and is the
+// quickest way to watch the Adaptive Index Buffer work: create a table,
+// add a partial index, query an uncovered value twice, and see the
+// second query's pages-skipped count jump.
 //
 //	$ go run ./cmd/aibshell
 //	aib> CREATE TABLE t (k INT, pad VARCHAR)
@@ -11,12 +11,16 @@
 //	aib> SELECT * FROM t WHERE k = 900
 //	aib> SHOW BUFFERS
 //
-// With -demo the shell preloads a populated flights table so there is
-// something to query immediately.
+// Statements run through the same repro.DB.Exec front door as
+// cmd/aibserver, so everything the shell can do, the network protocol
+// can too. With -demo the shell preloads a populated flights table so
+// there is something to query immediately; with -tenant it runs as a
+// tenant-scoped session.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,44 +28,44 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/obs"
-	"repro/internal/shell"
-	"repro/internal/storage"
+	"repro"
 )
 
 func main() {
 	demo := flag.Bool("demo", false, "preload a populated flights table")
 	data := flag.String("data", "", "directory for persistent storage (reopened if a catalog exists)")
 	listen := flag.String("listen", "", "serve /metrics, /timeline and /debug/pprof on this address (e.g. localhost:9090); also enables span recording and timeline sampling")
+	tenant := flag.String("tenant", "", "run as this tenant (registered on the fly with an unlimited quota)")
 	flag.Parse()
 
-	cfg := engine.Config{Space: core.Config{IMax: 2000, P: 500}, DataDir: *data}
-	var eng *engine.Engine
+	opts := repro.Options{IMax: 2000, PartitionPages: 500, DataDir: *data}
+	var db *repro.DB
+	var err error
 	if *data != "" {
-		if loaded, err := engine.Load(cfg); err == nil {
-			eng = loaded
+		if db, err = repro.OpenExisting(opts); err == nil {
 			fmt.Println("reopened database from", *data)
 		}
 	}
-	if eng == nil {
-		eng = engine.New(cfg)
+	if db == nil {
+		if db, err = repro.Open(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "aibshell: open:", err)
+			os.Exit(1)
+		}
 	}
-	defer eng.Close()
+	defer db.Close()
 	if *listen != "" {
-		srv, addr, err := obs.Serve(*listen, eng)
+		srv, addr, err := db.ServeMetrics(*listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aibshell: listen:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		eng.Tracer().EnableSpans(true)
-		eng.Timeline().Enable(true)
+		db.EnableTraceEvents(true)
+		db.EnableTimeline(true)
 		fmt.Printf("observability: http://%s/metrics, /timeline and /debug/pprof/ (SHOW TIMELINE works too)\n", addr)
 	}
 	if *demo {
-		if err := preload(eng); err != nil {
+		if err := preload(db); err != nil {
 			fmt.Fprintln(os.Stderr, "aibshell: preload:", err)
 			os.Exit(1)
 		}
@@ -70,17 +74,34 @@ func main() {
 		fmt.Println("  SELECT * FROM flights WHERE delay = 90")
 	}
 
-	repl(os.Stdin, os.Stdout, shell.New(eng))
+	exec := db.Exec
+	if *tenant != "" {
+		if err := db.CreateTenant(repro.Tenant{Name: *tenant}); err != nil {
+			fmt.Fprintln(os.Stderr, "aibshell: tenant:", err)
+			os.Exit(1)
+		}
+		sess, err := db.Session(*tenant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aibshell: tenant:", err)
+			os.Exit(1)
+		}
+		exec = sess.Exec
+		fmt.Printf("session bound to tenant %q\n", *tenant)
+	}
+
+	repl(os.Stdin, os.Stdout, exec)
 }
 
-// repl reads commands line by line, printing results and errors, until
-// EOF or an EXIT command.
-func repl(in io.Reader, out io.Writer, sh *shell.Shell) {
+// repl reads statements line by line, printing results and errors,
+// until EOF or an EXIT command. Every statement goes through the public
+// Exec front door.
+func repl(in io.Reader, out io.Writer, exec func(context.Context, string) (repro.ExecResult, error)) {
+	ctx := context.Background()
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	fmt.Fprint(out, "aib> ")
 	for sc.Scan() {
-		r, err := sh.Eval(sc.Text())
+		r, err := exec(ctx, sc.Text())
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 		} else if r.Output != "" {
@@ -94,31 +115,30 @@ func repl(in io.Reader, out io.Writer, sh *shell.Shell) {
 }
 
 // preload fills a flights table with 10,000 rows and a partial index on
-// the delay column.
-func preload(eng *engine.Engine) error {
-	schema := storage.MustSchema(
-		storage.Column{Name: "airport", Kind: storage.KindString},
-		storage.Column{Name: "delay", Kind: storage.KindInt64},
-		storage.Column{Name: "details", Kind: storage.KindString},
-	)
-	tb, err := eng.CreateTable("flights", schema)
-	if err != nil {
+// the delay column, all through Exec.
+func preload(db *repro.DB) error {
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, "CREATE TABLE flights (airport VARCHAR, delay INT, details VARCHAR)"); err != nil {
 		return err
 	}
 	airports := []string{"ORD", "JFK", "LAX", "FRA", "MUC", "HEL"}
 	rng := rand.New(rand.NewSource(1))
 	pad := strings.Repeat("d", 250)
-	for i := 0; i < 10000; i++ {
-		tu := storage.NewTuple(
-			storage.StringValue(airports[rng.Intn(len(airports))]),
-			storage.Int64Value(int64(rng.Intn(120))),
-			storage.StringValue(pad),
-		)
-		if _, err := tb.Insert(tu); err != nil {
+	const batch = 500
+	for lo := 0; lo < 10000; lo += batch {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO flights VALUES ")
+		for i := 0; i < batch; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "('%s', %d, '%s')",
+				airports[rng.Intn(len(airports))], rng.Intn(120), pad)
+		}
+		if _, err := db.Exec(ctx, sb.String()); err != nil {
 			return err
 		}
 	}
-	sh := shell.New(eng)
-	_, err = sh.Eval("CREATE PARTIAL INDEX ON flights (delay) COVERING 0 TO 29")
+	_, err := db.Exec(ctx, "CREATE PARTIAL INDEX ON flights (delay) COVERING 0 TO 29")
 	return err
 }

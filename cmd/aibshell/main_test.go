@@ -2,16 +2,25 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/shell"
+	"repro"
 )
 
+func open(t *testing.T, o repro.Options) *repro.DB {
+	t.Helper()
+	db, err := repro.Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
 func TestREPL(t *testing.T) {
-	eng := engine.New(engine.Config{Space: core.Config{IMax: 100, P: 50}})
+	db := open(t, repro.Options{IMax: 100, PartitionPages: 50})
 	in := strings.NewReader(strings.Join([]string{
 		"CREATE TABLE t (a INT, b VARCHAR)",
 		"INSERT INTO t VALUES (1, 'one'), (2, 'two')",
@@ -22,7 +31,7 @@ func TestREPL(t *testing.T) {
 		"never reached",
 	}, "\n"))
 	var out bytes.Buffer
-	repl(in, &out, shell.New(eng))
+	repl(in, &out, db.Exec)
 	got := out.String()
 	for _, want := range []string{"created table t", "inserted 2 row(s)", `"two"`, "error:", "bye"} {
 		if !strings.Contains(got, want) {
@@ -35,20 +44,36 @@ func TestREPL(t *testing.T) {
 }
 
 func TestREPLEOF(t *testing.T) {
-	eng := engine.New(engine.Config{})
+	db := open(t, repro.Options{})
 	var out bytes.Buffer
-	repl(strings.NewReader("HELP\n"), &out, shell.New(eng))
+	repl(strings.NewReader("HELP\n"), &out, db.Exec)
 	if !strings.Contains(out.String(), "CREATE TABLE") {
 		t.Error("help output missing")
 	}
 }
 
-func TestPreload(t *testing.T) {
-	eng := engine.New(engine.Config{Space: core.Config{IMax: 2000, P: 500}})
-	if err := preload(eng); err != nil {
+func TestREPLTenantSession(t *testing.T) {
+	db := open(t, repro.Options{Tenants: []repro.Tenant{{Name: "acme"}}})
+	sess, err := db.Session("acme")
+	if err != nil {
 		t.Fatal(err)
 	}
-	tb := eng.Table("flights")
+	var out bytes.Buffer
+	repl(strings.NewReader("CREATE TABLE t (a INT, b VARCHAR)\nSHOW TABLES\n"), &out, sess.Exec)
+	if got := out.String(); !strings.Contains(got, "t") {
+		t.Errorf("tenant table missing from SHOW TABLES:\n%s", got)
+	}
+	if db.Table("t") != nil {
+		t.Error("tenant table leaked into the default namespace")
+	}
+}
+
+func TestPreload(t *testing.T) {
+	db := open(t, repro.Options{IMax: 2000, PartitionPages: 500})
+	if err := preload(db); err != nil {
+		t.Fatal(err)
+	}
+	tb := db.Table("flights")
 	if tb == nil {
 		t.Fatal("flights table missing")
 	}
@@ -56,7 +81,11 @@ func TestPreload(t *testing.T) {
 	if err != nil || n != 10000 {
 		t.Fatalf("count = %d, %v", n, err)
 	}
-	if tb.Index(1) == nil {
-		t.Error("delay index missing")
+	res, err := db.Exec(context.Background(), "SELECT * FROM flights WHERE delay = 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Rows == 0 {
+		t.Fatalf("uncovered query returned no rows/stats: %+v", res)
 	}
 }

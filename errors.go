@@ -23,4 +23,11 @@ var (
 	ErrDuplicateTable = engine.ErrDuplicateTable
 	// ErrClosed is returned by every operation after DB.Close.
 	ErrClosed = engine.ErrClosed
+	// ErrQuotaExceeded is returned when a strict tenant's miss needs an
+	// indexing scan but the tenant's Index-Buffer quota is exhausted
+	// (non-strict tenants degrade to unindexed scans instead).
+	ErrQuotaExceeded = engine.ErrQuotaExceeded
+	// ErrTenantUnknown is returned when a session or statement names a
+	// tenant that was never registered.
+	ErrTenantUnknown = engine.ErrTenantUnknown
 )

@@ -32,6 +32,10 @@ type IndexBuffer struct {
 	name  string
 	space *Space
 	cfg   *Config
+	// tenant is the budget domain the buffer's entries charge, alongside
+	// the global Space budget; nil is the default (global-only) domain.
+	// Immutable after CreateBufferFor.
+	tenant *Tenant
 
 	mu sync.RWMutex
 
@@ -57,6 +61,32 @@ type IndexBuffer struct {
 
 // Name returns the buffer's identifier (typically "table.column").
 func (b *IndexBuffer) Name() string { return b.name }
+
+// Tenant returns the buffer's budget domain, or nil for the default.
+func (b *IndexBuffer) Tenant() *Tenant { return b.tenant }
+
+// TenantName returns the owning tenant's name ("" for the default).
+func (b *IndexBuffer) TenantName() string {
+	if b.tenant == nil {
+		return ""
+	}
+	return b.tenant.name
+}
+
+// charge moves delta entries on both ledgers the buffer draws from: the
+// global Space budget and, when the buffer belongs to a tenant, the
+// tenant's quota. Called under b.mu like addUsed.
+func (b *IndexBuffer) charge(delta int) {
+	b.space.addUsed(delta)
+	if b.tenant != nil {
+		b.tenant.used.Add(int64(delta))
+		if delta < 0 {
+			// Freed headroom may now fit a page; let the next miss try a
+			// real indexing scan again instead of degrading.
+			b.tenant.exhausted.Store(false)
+		}
+	}
+}
 
 // History exposes the LRU-K history (internally synchronized; the Space
 // advances it on every query).
@@ -353,7 +383,7 @@ func (b *IndexBuffer) AddEntry(p storage.PageID, key storage.Value, rid storage.
 		return fmt.Errorf("core: AddEntry on unbuffered page %d in %s", p, b.name)
 	}
 	if part.insert(key, rid) {
-		b.space.addUsed(1)
+		b.charge(1)
 	}
 	return nil
 }
@@ -381,7 +411,7 @@ func (b *IndexBuffer) ApplyPage(p storage.PageID, entries []PageEntry) error {
 		}
 	}
 	if added > 0 {
-		b.space.addUsed(added)
+		b.charge(added)
 	}
 	return nil
 }
@@ -409,7 +439,7 @@ func (b *IndexBuffer) AbortPage(p storage.PageID, added []PageEntry) {
 	}
 	for _, e := range added {
 		if part.remove(e.Key, e.RID) {
-			b.space.addUsed(-1)
+			b.charge(-1)
 		}
 	}
 	delete(part.pages, p)
@@ -435,7 +465,7 @@ func (b *IndexBuffer) dropPartitionLocked(part *Partition) {
 	for pg := range part.pages {
 		delete(b.byPage, pg)
 	}
-	b.space.addUsed(-part.EntryCount())
+	b.charge(-part.EntryCount())
 }
 
 // dropPartition is the locking wrapper around dropPartitionLocked.

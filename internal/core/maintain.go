@@ -38,7 +38,7 @@ func (b *IndexBuffer) maintainInsertLocked(v storage.Value, rid storage.RID, inI
 	if part, ok := b.byPage[rid.Page]; ok {
 		// The page stays fully indexed by absorbing the new tuple.
 		if part.insert(v, rid) {
-			b.space.addUsed(1)
+			b.charge(1)
 		}
 	}
 }
@@ -60,7 +60,7 @@ func (b *IndexBuffer) maintainDeleteLocked(v storage.Value, rid storage.RID, was
 	}
 	if part, ok := b.byPage[rid.Page]; ok {
 		if part.remove(v, rid) {
-			b.space.addUsed(-1)
+			b.charge(-1)
 		}
 	}
 }

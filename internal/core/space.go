@@ -30,6 +30,9 @@ type Space struct {
 	order   []string // creation order, for deterministic iteration
 	stats   SpaceStats
 	obs     Observer // optional management-event sink; may be nil
+
+	tenants     map[string]*Tenant
+	tenantOrder []string
 }
 
 // Observer receives buffer-management span events from the Space. The
@@ -52,11 +55,15 @@ func (s *Space) SetObserver(o Observer) {
 	s.mu.Unlock()
 }
 
-// SpaceStats counts management activity.
+// SpaceStats counts management activity. CrossTenantEntriesDropped is
+// the subset of EntriesDropped taken from a tenant other than the
+// displacing scan's — the global spill of the two-level competition; it
+// stays zero as long as every tenant fits its quota.
 type SpaceStats struct {
-	PartitionsDropped uint64
-	EntriesDropped    uint64
-	PagesSelected     uint64
+	PartitionsDropped         uint64
+	EntriesDropped            uint64
+	CrossTenantEntriesDropped uint64
+	PagesSelected             uint64
 }
 
 // NewSpace creates an Index Buffer Space with the given configuration.
@@ -96,6 +103,14 @@ func (s *Space) Stats() SpaceStats {
 // index — the paper's counter initialization at partial-index creation
 // (§III). The name must be unique.
 func (s *Space) CreateBuffer(name string, uncovered []int) (*IndexBuffer, error) {
+	return s.CreateBufferFor(name, uncovered, nil)
+}
+
+// CreateBufferFor is CreateBuffer with the buffer attributed to a budget
+// domain: its entries charge tenant's quota alongside the global budget,
+// and displacement scopes its competition accordingly. A nil tenant is
+// the default domain (global budget only).
+func (s *Space) CreateBufferFor(name string, uncovered []int, tenant *Tenant) (*IndexBuffer, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.buffers[name]; dup {
@@ -105,6 +120,7 @@ func (s *Space) CreateBuffer(name string, uncovered []int) (*IndexBuffer, error)
 		name:      name,
 		space:     s,
 		cfg:       &s.cfg,
+		tenant:    tenant,
 		uncovered: append([]int(nil), uncovered...),
 		byPage:    make(map[storage.PageID]*Partition),
 		hist:      NewHistory(s.cfg.K),
@@ -270,35 +286,74 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 	benefitOf := func(pages int) float64 { return float64(pages) / tTarget }
 
 	// Iteratively grow the victim set D while the enlarged page set I is
-	// strictly more beneficial than the partitions it displaces.
+	// strictly more beneficial than the partitions it displaces. With
+	// tenants the scan's entry budget is the tighter of the global pool
+	// and the target tenant's quota headroom, and the victim competition
+	// runs in two arenas: as long as the tenant's own budget is the
+	// binding constraint, victims come from the tenant's own buffers (a
+	// tenant never grows past its quota by evicting someone else); only
+	// when the global pool is what binds does the competition spill to
+	// every buffer — the paper's original global two-stage selection,
+	// which resolves quota overcommit. Same-tenant drops refund both
+	// ledgers, cross-tenant drops only the global one.
 	var victims []victimRef
-	victimEntries := 0
+	victimGlobal := 0 // entries freed toward the global budget (all victims)
+	victimTenant := 0 // entries freed toward the tenant budget (same-tenant victims)
 	victimBenefit := 0.0
 	excluded := map[*Partition]bool{}
 
-	accepted, _ := fit(s.Free())
+	gFree, tFree := s.Free(), tenantFree(target)
+	accepted, _ := fit(min(gFree, tFree))
 	for accepted < len(cands) {
-		v := s.selectNextVictim(target, excluded)
+		intraTenant := target.tenant != nil && tFree+victimTenant <= gFree+victimGlobal
+		v := s.selectNextVictim(target, excluded, intraTenant)
 		if v == nil {
 			break
 		}
 		excluded[v.part] = true
-		nextEntries := victimEntries + v.entries
+		nextGlobal := victimGlobal + v.entries
+		nextTenant := victimTenant
+		if v.owner.tenant == target.tenant {
+			nextTenant += v.entries
+		}
 		nextBenefit := victimBenefit + v.benefit
-		nextAccepted, _ := fit(s.Free() + nextEntries)
+		nextAccepted, _ := fit(min(gFree+nextGlobal, tFree+nextTenant))
 		if benefitOf(nextAccepted) <= nextBenefit || nextAccepted == accepted {
 			break // the paper's until-condition: reject the enlargement
 		}
 		victims = append(victims, *v)
-		victimEntries = nextEntries
+		victimGlobal, victimTenant = nextGlobal, nextTenant
 		victimBenefit = nextBenefit
 		accepted = nextAccepted
+	}
+
+	if accepted == 0 && target.tenant != nil {
+		// Candidates exist but not even the cheapest fits what the tenant
+		// can muster (headroom plus intra-tenant victims the benefit
+		// competition was willing to give up): latch exhaustion so the
+		// tenant's next miss degrades at admission rather than re-running
+		// this fruitless selection. charge() clears the latch on release.
+		minCost := cands[0].n
+		for _, c := range cands[1:] {
+			if c.n < minCost {
+				minCost = c.n
+			}
+		}
+		if minCost > tFree+victimTenant {
+			target.tenant.exhausted.Store(true)
+		}
 	}
 
 	// Perform the accepted drops.
 	for _, v := range victims {
 		s.stats.PartitionsDropped++
 		s.stats.EntriesDropped += uint64(v.entries)
+		if v.owner.tenant != target.tenant {
+			s.stats.CrossTenantEntriesDropped += uint64(v.entries)
+			if v.owner.tenant != nil {
+				v.owner.tenant.evicted.Add(uint64(v.entries))
+			}
+		}
 		v.owner.dropPartition(v.part)
 		if s.obs != nil {
 			s.obs.SpaceEvent("displace", v.owner.name, -1, v.entries)
@@ -332,9 +387,11 @@ type victimRef struct {
 // inverse benefit (low-benefit buffers are likelier); stage 2 picks that
 // buffer's incomplete partition first, then complete partitions in
 // descending entry count. Partitions in excluded are already chosen.
-// Buffers pinned by an in-flight indexing scan are never victims.
+// Buffers pinned by an in-flight indexing scan are never victims. When
+// sameTenant is set, stage 1 only considers buffers of the target's own
+// tenant — the intra-tenant arena of the two-level competition.
 // Called with s.mu held.
-func (s *Space) selectNextVictim(target *IndexBuffer, excluded map[*Partition]bool) *victimRef {
+func (s *Space) selectNextVictim(target *IndexBuffer, excluded map[*Partition]bool, sameTenant bool) *victimRef {
 	type choice struct {
 		buf    *IndexBuffer
 		weight float64
@@ -344,6 +401,9 @@ func (s *Space) selectNextVictim(target *IndexBuffer, excluded map[*Partition]bo
 	for _, n := range s.order {
 		b := s.buffers[n]
 		if b == target || b.scanPins > 0 {
+			continue
+		}
+		if sameTenant && b.tenant != target.tenant {
 			continue
 		}
 		if !b.hasDroppable(excluded) {

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Tenant is one budget domain of the Index Buffer Space. The paper's
+// buffer-space competition (two-stage victim selection, benefit
+// b_p = X_p / T_B, §IV) runs per column; tenants generalize it to a
+// second level: each tenant's buffers compete among themselves inside
+// the tenant's entry quota, and only a tenant with quota headroom may
+// take part in the global competition across tenants. A tenant at its
+// quota therefore never displaces another tenant's partitions — its
+// misses degrade to unindexed scans instead (engine admission).
+//
+// The used counter is atomic for the same reason the Space's is: buffers
+// charge and release entries under their own locks, below Space.mu in
+// the lock order, so the tenant ledger must not need any mutex.
+type Tenant struct {
+	name   string
+	quota  int64 // entry budget carved from the Space; <= 0 = unlimited
+	strict bool  // over-quota misses error instead of degrading
+
+	used     atomic.Int64  // entries currently held by the tenant's buffers
+	degraded atomic.Uint64 // misses degraded to unindexed scans (engine bumps)
+	evicted  atomic.Uint64 // entries lost to other tenants' scans
+
+	// exhausted latches when an indexing scan found candidate pages but
+	// could not afford even the cheapest one within the tenant's budget
+	// (intra-tenant victims included). Page selection is whole-page, so a
+	// tenant whose headroom is smaller than every candidate's C[p] would
+	// otherwise sit below its quota forever, re-running fruitless
+	// indexing scans instead of degrading. The latch clears as soon as
+	// any of the tenant's entries are released.
+	exhausted atomic.Bool
+}
+
+// Name returns the tenant's identifier.
+func (t *Tenant) Name() string { return t.name }
+
+// Quota returns the tenant's entry budget (<= 0 means unlimited).
+func (t *Tenant) Quota() int { return int(t.quota) }
+
+// Strict reports whether over-quota misses fail with an error instead
+// of degrading to unindexed scans.
+func (t *Tenant) Strict() bool { return t.strict }
+
+// Used returns the entries currently held across the tenant's buffers.
+func (t *Tenant) Used() int { return int(t.used.Load()) }
+
+// Free returns the remaining quota. Like Space.Free it may go negative
+// when DML maintenance inserts push usage past the quota (only scans are
+// admission-controlled); unlimited tenants report a huge value.
+func (t *Tenant) Free() int {
+	if t.quota <= 0 {
+		return math.MaxInt / 2
+	}
+	return int(t.quota - t.used.Load())
+}
+
+// OverQuota reports whether the tenant has no usable entry budget left —
+// the admission condition under which a miss degrades (or, for a strict
+// tenant, fails): either the ledger reached the quota, or the last
+// indexing scan proved the remaining headroom cannot fit a single page.
+func (t *Tenant) OverQuota() bool {
+	return t.quota > 0 && (t.used.Load() >= t.quota || t.exhausted.Load())
+}
+
+// Exhausted reports the page-granularity latch; see OverQuota.
+func (t *Tenant) Exhausted() bool { return t.exhausted.Load() }
+
+// NoteDegraded counts one miss that degraded to an unindexed scan.
+func (t *Tenant) NoteDegraded() { t.degraded.Add(1) }
+
+// Degraded returns the number of misses degraded to unindexed scans.
+func (t *Tenant) Degraded() uint64 { return t.degraded.Load() }
+
+// Evicted returns the entries this tenant lost to other tenants' scans
+// through the global spill of the displacement competition.
+func (t *Tenant) Evicted() uint64 { return t.evicted.Load() }
+
+// CreateTenant registers a budget domain with the Space. quota is the
+// tenant's entry budget (<= 0 = unlimited); strict makes over-quota
+// misses fail instead of degrading. Names must be unique and non-empty.
+func (s *Space) CreateTenant(name string, quota int, strict bool) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: tenant name must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[name]; dup {
+		return nil, fmt.Errorf("core: tenant %q already exists", name)
+	}
+	if s.tenants == nil {
+		s.tenants = make(map[string]*Tenant)
+	}
+	t := &Tenant{name: name, quota: int64(quota), strict: strict}
+	s.tenants[name] = t
+	s.tenantOrder = append(s.tenantOrder, name)
+	return t, nil
+}
+
+// Tenant returns the named tenant, or nil.
+func (s *Space) Tenant(name string) *Tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants[name]
+}
+
+// Tenants returns all tenants in creation order.
+func (s *Space) Tenants() []*Tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Tenant, 0, len(s.tenantOrder))
+	for _, n := range s.tenantOrder {
+		out = append(out, s.tenants[n])
+	}
+	return out
+}
+
+// tenantFree returns the entry budget the buffer's tenant still has —
+// effectively unlimited for buffers of the default (nil) tenant.
+func tenantFree(b *IndexBuffer) int {
+	if b.tenant == nil {
+		return math.MaxInt / 2
+	}
+	return b.tenant.Free()
+}

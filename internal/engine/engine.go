@@ -255,7 +255,8 @@ type pageStore interface {
 // into this table's buffers without holding this table's lock.
 type Table struct {
 	engine *Engine
-	name   string
+	name   string // qualified catalog name ("<tenant>:<table>" for tenant tables)
+	tenant *core.Tenant
 	schema *storage.Schema
 
 	mu      sync.RWMutex
@@ -268,8 +269,14 @@ type Table struct {
 	scans scanAdmission // per-column batching of concurrent miss queries
 }
 
-// CreateTable registers a new empty table.
+// CreateTable registers a new empty table under the default tenant.
 func (e *Engine) CreateTable(name string, schema *storage.Schema) (*Table, error) {
+	return e.createTable(nil, name, schema)
+}
+
+// createTable registers a table under its qualified catalog name; tn is
+// the owning tenant (nil = default).
+func (e *Engine) createTable(tn *core.Tenant, name string, schema *storage.Schema) (*Table, error) {
 	if err := e.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -299,6 +306,7 @@ func (e *Engine) CreateTable(name string, schema *storage.Schema) (*Table, error
 	t := &Table{
 		engine:  e,
 		name:    name,
+		tenant:  tn,
 		schema:  schema,
 		store:   store,
 		pool:    pool,
@@ -415,7 +423,7 @@ func (t *Table) CreatePartialIndex(column int, cov index.Coverage) error {
 	t.indexes[column] = ix
 
 	if !t.engine.cfg.DisableIndexBuffer {
-		b, err := t.engine.space.CreateBuffer(t.bufferName(column), uncovered)
+		b, err := t.engine.space.CreateBufferFor(t.bufferName(column), uncovered, t.tenant)
 		if err != nil {
 			return err
 		}
@@ -474,7 +482,7 @@ func (t *Table) RedefineIndex(column int, cov index.Coverage) error {
 	if err != nil {
 		return err
 	}
-	b, err := t.engine.space.CreateBuffer(t.bufferName(column), uncovered)
+	b, err := t.engine.space.CreateBufferFor(t.bufferName(column), uncovered, t.tenant)
 	if err != nil {
 		return err
 	}
@@ -616,6 +624,13 @@ func (t *Table) QueryEqualCtx(ctx context.Context, column int, key storage.Value
 		defer t.mu.RUnlock()
 		return t.runEqual(ctx, a, column, key)
 	}
+	if degrade, err := t.admitMiss(&a); err != nil {
+		t.mu.RUnlock()
+		return nil, exec.QueryStats{}, err
+	} else if degrade {
+		defer t.mu.RUnlock()
+		return t.runEqual(ctx, a, column, key)
+	}
 	t.mu.RUnlock()
 
 	return t.queryShared(ctx, column, key, key, true)
@@ -652,6 +667,13 @@ func (t *Table) QueryRangeCtx(ctx context.Context, column int, lo, hi storage.Va
 		return nil, exec.QueryStats{}, err
 	}
 	if !a.NeedsIndexingScanRange(lo, hi) {
+		defer t.mu.RUnlock()
+		return t.runRange(ctx, a, column, lo, hi)
+	}
+	if degrade, err := t.admitMiss(&a); err != nil {
+		t.mu.RUnlock()
+		return nil, exec.QueryStats{}, err
+	} else if degrade {
 		defer t.mu.RUnlock()
 		return t.runRange(ctx, a, column, lo, hi)
 	}
@@ -739,7 +761,10 @@ func (t *Table) sampleTimeline(column int, stats exec.QueryStats, follower bool)
 		mech = timeline.MechHit
 	case follower:
 		mech = timeline.MechFollower
-	case stats.FullScan:
+	case stats.FullScan, stats.QuotaDegraded:
+		// A quota-degraded pass is a non-indexing scan: for the timeline's
+		// mechanism mix it counts with the full scans, since it adapts
+		// nothing (the tenant's degraded counter tracks it separately).
 		mech = timeline.MechFullScan
 	default:
 		mech = timeline.MechIndexingScan

@@ -17,4 +17,10 @@ var (
 	ErrDuplicateTable = errors.New("table already exists")
 	// ErrClosed marks any operation on an engine after Close.
 	ErrClosed = errors.New("database is closed")
+	// ErrQuotaExceeded marks a strict tenant's miss rejected because the
+	// tenant's Index-Buffer quota is exhausted (non-strict tenants degrade
+	// to unindexed scans instead).
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+	// ErrTenantUnknown marks a reference to an unregistered tenant.
+	ErrTenantUnknown = errors.New("unknown tenant")
 )

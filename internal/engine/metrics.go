@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // This file renders the engine's monitors — scan-sharing counters, Index
@@ -80,32 +82,63 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	m.printf("aib_space_entries_dropped_total %d\n", sp.EntriesDropped)
 	m.head("aib_space_pages_selected_total", "Pages chosen for indexing by Algorithm 2.", "counter")
 	m.printf("aib_space_pages_selected_total %d\n", sp.PagesSelected)
+	m.head("aib_space_cross_tenant_entries_dropped_total", "Entries one tenant's scans displaced from other tenants' buffers.", "counter")
+	m.printf("aib_space_cross_tenant_entries_dropped_total %d\n", sp.CrossTenantEntriesDropped)
 
-	// Per-buffer gauges. Buffers() returns a creation-ordered snapshot.
+	// Per-tenant quota gauges and degradation counters.
+	tenants := e.space.Tenants()
+	if len(tenants) > 0 {
+		m.head("aib_tenant_entries_used", "Index Buffer entries currently held by one tenant's buffers.", "gauge")
+		for _, tn := range tenants {
+			m.printf("aib_tenant_entries_used{tenant=\"%s\"} %d\n", escapeLabel(tn.Name()), tn.Used())
+		}
+		m.head("aib_tenant_entries_quota", "Configured entry quota of one tenant (0 = unlimited).", "gauge")
+		for _, tn := range tenants {
+			q := tn.Quota()
+			if q < 0 {
+				q = 0
+			}
+			m.printf("aib_tenant_entries_quota{tenant=\"%s\"} %d\n", escapeLabel(tn.Name()), q)
+		}
+		m.head("aib_tenant_degraded_total", "Misses degraded to unindexed scans because the tenant was over quota.", "counter")
+		for _, tn := range tenants {
+			m.printf("aib_tenant_degraded_total{tenant=\"%s\"} %d\n", escapeLabel(tn.Name()), tn.Degraded())
+		}
+		m.head("aib_tenant_entries_evicted_total", "Entries one tenant lost to other tenants' scans.", "counter")
+		for _, tn := range tenants {
+			m.printf("aib_tenant_entries_evicted_total{tenant=\"%s\"} %d\n", escapeLabel(tn.Name()), tn.Evicted())
+		}
+	}
+
+	// Per-buffer gauges, labeled with the owning tenant ("" = default).
+	// Buffers() returns a creation-ordered snapshot.
+	lbl := func(b *core.IndexBuffer) string {
+		return fmt.Sprintf("buffer=\"%s\",tenant=\"%s\"", escapeLabel(b.Name()), escapeLabel(b.TenantName()))
+	}
 	m.head("aib_buffer_entries", "Entries held by one Index Buffer.", "gauge")
 	bufs := e.space.Buffers()
 	for _, b := range bufs {
-		m.printf("aib_buffer_entries{buffer=\"%s\"} %d\n", escapeLabel(b.Name()), b.EntryCount())
+		m.printf("aib_buffer_entries{%s} %d\n", lbl(b), b.EntryCount())
 	}
 	m.head("aib_buffer_partitions", "Partitions held by one Index Buffer.", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_partitions{buffer=\"%s\"} %d\n", escapeLabel(b.Name()), b.PartitionCount())
+		m.printf("aib_buffer_partitions{%s} %d\n", lbl(b), b.PartitionCount())
 	}
 	m.head("aib_buffer_buffered_pages", "Table pages fully indexed by one Index Buffer (C[p] = 0).", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_buffered_pages{buffer=\"%s\"} %d\n", escapeLabel(b.Name()), b.BufferedPages())
+		m.printf("aib_buffer_buffered_pages{%s} %d\n", lbl(b), b.BufferedPages())
 	}
 	m.head("aib_buffer_benefit", "Benefit estimate of one Index Buffer (entries per interval).", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_benefit{buffer=\"%s\"} %g\n", escapeLabel(b.Name()), b.Benefit())
+		m.printf("aib_buffer_benefit{%s} %g\n", lbl(b), b.Benefit())
 	}
 	m.head("aib_buffer_mean_interval", "Mean LRU-K reference interval of one Index Buffer.", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_mean_interval{buffer=\"%s\"} %g\n", escapeLabel(b.Name()), b.History().Mean())
+		m.printf("aib_buffer_mean_interval{%s} %g\n", lbl(b), b.History().Mean())
 	}
 	m.head("aib_buffer_bytes", "Encoded payload bytes held by one Index Buffer.", "gauge")
 	for _, b := range bufs {
-		m.printf("aib_buffer_bytes{buffer=\"%s\"} %d\n", escapeLabel(b.Name()), b.EntryBytes())
+		m.printf("aib_buffer_bytes{%s} %d\n", lbl(b), b.EntryBytes())
 	}
 	m.head("aib_coverage_ratio", "Fraction of one buffer's table pages that are skippable (C[p] = 0).", "gauge")
 	for _, b := range bufs {
@@ -114,7 +147,7 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		if total > 0 {
 			cov = float64(zero) / float64(total)
 		}
-		m.printf("aib_coverage_ratio{buffer=\"%s\"} %g\n", escapeLabel(b.Name()), cov)
+		m.printf("aib_coverage_ratio{%s} %g\n", lbl(b), cov)
 	}
 
 	// Adaptation-timeline convergence verdicts. Queries-to-target is

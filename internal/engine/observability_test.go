@@ -43,8 +43,8 @@ func TestWriteMetrics(t *testing.T) {
 		"aib_shared_scan_misses_total 11",
 		"aib_shared_scan_passes_total 11",
 		"# TYPE aib_space_entries_used gauge",
-		`aib_buffer_entries{buffer="flights.a"}`,
-		`aib_buffer_benefit{buffer="flights.a"}`,
+		`aib_buffer_entries{buffer="flights.a",tenant=""}`,
+		`aib_buffer_benefit{buffer="flights.a",tenant=""}`,
 		`aib_queries_total{table="flights",column="a"} 21`,
 		`aib_query_hits_total{table="flights",column="a"} 10`,
 		"# TYPE aib_query_latency_microseconds summary",

@@ -153,8 +153,8 @@ func TestMetricsTimelineFamilies(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{
-		`aib_buffer_bytes{buffer="flights.a"}`,
-		`aib_coverage_ratio{buffer="flights.a"}`,
+		`aib_buffer_bytes{buffer="flights.a",tenant=""}`,
+		`aib_coverage_ratio{buffer="flights.a",tenant=""}`,
 		`aib_convergence_achieved{buffer="flights.a",target="0.95"}`,
 		"aib_timeline_enabled 1",
 		"# TYPE aib_timeline_samples_total counter",

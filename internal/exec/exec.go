@@ -47,6 +47,12 @@ type QueryStats struct {
 	PartialHit bool // answered by the partial index
 	FullScan   bool // no buffer available: plain full table scan
 
+	// QuotaDegraded marks a miss executed read-only because the owning
+	// tenant's Index-Buffer quota was exhausted: existing buffer state
+	// still served lookups and page skips, but no pages were selected or
+	// indexed and no other tenant's partitions were displaced.
+	QuotaDegraded bool
+
 	Matches       int // result tuples
 	BufferMatches int // results obtained from the Index Buffer
 
@@ -91,6 +97,16 @@ type Access struct {
 	// Results, stats, and buffer maintenance are bit-identical across
 	// settings; see parallel.go for the execution scheme.
 	Parallelism int
+
+	// ReadOnly degrades a miss to an unindexed scan: the Index Buffer is
+	// consulted (lookups, C[p] == 0 page skips) but never mutated — no
+	// page selection, no BeginPage/AddEntry, no displacement. The engine
+	// sets it for misses of tenants whose quota is exhausted; because the
+	// pass mutates nothing it may run under the table's read lock. The
+	// buffer is still pinned against displacement for the pass's
+	// duration, since the skip decisions and collected buffer matches
+	// assume its partitions stay put.
+	ReadOnly bool
 
 	// Span, when non-nil, receives span events from the indexing scan —
 	// currently "scan-parallel" (the scan fanned out, n = workers) and

@@ -247,7 +247,20 @@ func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states
 	defer release()
 
 	numPages := a.Table.NumPages()
-	selected := a.Space.SelectPagesForBuffer(a.Buffer, numPages) // I ← SelectPagesForBuffer()
+	var selected []storage.PageID
+	if a.ReadOnly {
+		// Quota-degraded pass: I stays empty, so the page walk below never
+		// indexes and the buffer is never mutated — but the existing state
+		// still answers lookups and C[p] == 0 skips. The pin is still
+		// required: a displacement between the buffer lookup and a skip
+		// decision would otherwise drop entries this pass has already
+		// counted on.
+		for _, i := range scanQ {
+			outs[i].Stats.QuotaDegraded = true
+		}
+	} else {
+		selected = a.Space.SelectPagesForBuffer(a.Buffer, numPages) // I ← SelectPagesForBuffer()
+	}
 	inI := make(map[storage.PageID]bool, len(selected))
 	for _, p := range selected {
 		inI[p] = true

@@ -16,6 +16,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -29,7 +30,7 @@ import (
 //
 //	/metrics            Prometheus text exposition (v0.0.4)
 //	/timeline           adaptation timeline + convergence as JSON,
-//	                    filtered by ?table= and ?column=
+//	                    filtered by ?table=, ?column= and ?tenant=
 //	/healthz            200 + build info JSON (liveness probe)
 //	/debug/pprof/       pprof index, plus cmdline, profile, symbol, trace
 type Server struct {
@@ -118,8 +119,22 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	}
 	table := r.URL.Query().Get("table")
 	column := r.URL.Query().Get("column")
+	// ?tenant= keeps only series of the named tenant's tables, whose
+	// catalog names are "<tenant>:<table>"; tenant=<default> (the
+	// literal) keeps unqualified tables only.
+	tenant := r.URL.Query().Get("tenant")
 	match := func(t, c string) bool {
-		return (table == "" || t == table) && (column == "" || c == column)
+		if (table != "" && t != table) || (column != "" && c != column) {
+			return false
+		}
+		switch tenant {
+		case "":
+			return true
+		case "<default>":
+			return !strings.Contains(t, ":")
+		default:
+			return strings.HasPrefix(t, tenant+":")
+		}
 	}
 	resp := timelineResponse{
 		Series:      []timeline.Series{},

@@ -1,11 +1,13 @@
 package shell
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/index"
@@ -20,24 +22,50 @@ type (
 	engineConvergence = timeline.Convergence
 )
 
-// Shell evaluates commands against one engine. It is not safe for
-// concurrent use (a REPL is inherently serial).
+// Shell evaluates commands against one engine, optionally scoped to one
+// tenant: a tenant shell sees only the tenant's tables and buffers, and
+// its tables charge the tenant's Index-Buffer quota. A Shell holds no
+// mutable state — isolation comes entirely from the engine — so
+// concurrent EvalCtx calls on one Shell are safe; the statements race
+// exactly as the underlying engine operations would.
 type Shell struct {
-	eng *engine.Engine
+	eng    *engine.Engine
+	tenant *core.Tenant // nil = default tenant
 }
 
-// New creates a shell over the engine.
+// New creates a shell over the engine, scoped to the default tenant.
 func New(eng *engine.Engine) *Shell { return &Shell{eng: eng} }
+
+// NewTenant creates a shell scoped to tn (nil = default tenant).
+func NewTenant(eng *engine.Engine, tn *core.Tenant) *Shell {
+	return &Shell{eng: eng, tenant: tn}
+}
 
 // Result is the outcome of one command.
 type Result struct {
-	Output string // human-readable response, possibly multi-line
-	Quit   bool   // the user asked to leave
+	Output string           // human-readable response, possibly multi-line
+	Rows   int              // rows returned (SELECT) or affected (INSERT/DELETE/UPDATE)
+	Stats  *exec.QueryStats // execution stats of a SELECT, else nil
+	Quit   bool             // the user asked to leave
 }
 
-// Eval parses and executes one command line. Empty lines and comments
-// (lines starting with --) are no-ops.
+// Eval parses and executes one command line without a context.
+//
+// Deprecated: use EvalCtx, which cancels long scans mid-statement. Eval
+// remains for callers with no context to thread.
 func (s *Shell) Eval(line string) (Result, error) {
+	return s.EvalCtx(context.Background(), line)
+}
+
+// EvalCtx parses and executes one command line. Empty lines and comments
+// (lines starting with --) are no-ops. ctx is checked up front and
+// threaded into the query paths (SELECT, and the lookups of DELETE and
+// UPDATE), so a long scan is abandoned between page reads when the
+// caller gives up.
+func (s *Shell) EvalCtx(ctx context.Context, line string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	trimmed := strings.TrimSpace(line)
 	if trimmed == "" || strings.HasPrefix(trimmed, "--") {
 		return Result{}, nil
@@ -64,16 +92,16 @@ func (s *Shell) Eval(line string) (Result, error) {
 	case "INSERT":
 		return s.evalInsert(p)
 	case "DELETE":
-		return s.evalDelete(p)
+		return s.evalDelete(ctx, p)
 	case "UPDATE":
-		return s.evalUpdate(p)
+		return s.evalUpdate(ctx, p)
 	case "SELECT":
-		return s.evalSelect(p, false)
+		return s.evalSelect(ctx, p, false)
 	case "EXPLAIN":
 		if err := p.word("SELECT"); err != nil {
 			return Result{}, err
 		}
-		return s.evalSelect(p, true)
+		return s.evalSelect(ctx, p, true)
 	case "DROP":
 		if err := p.word("INDEX"); err != nil {
 			return Result{}, err
@@ -149,9 +177,9 @@ const helpText = `commands:
   SAVE   (persist a DataDir-backed database)
   HELP | EXIT`
 
-// table resolves a table name.
+// table resolves a table name within the shell's tenant.
 func (s *Shell) table(name string) (*engine.Table, error) {
-	t := s.eng.Table(name)
+	t := s.eng.TableFor(s.tenant, name)
 	if t == nil {
 		return nil, fmt.Errorf("no table %q", name)
 	}
@@ -244,7 +272,7 @@ func (s *Shell) evalCreateTable(p *parser) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if _, err := s.eng.CreateTable(name, schema); err != nil {
+	if _, err := s.eng.CreateTableFor(s.tenant, name, schema); err != nil {
 		return Result{}, err
 	}
 	return Result{Output: fmt.Sprintf("created table %s %s", name, schema)}, nil
@@ -392,7 +420,7 @@ func (s *Shell) evalInsert(p *parser) (Result, error) {
 			return Result{}, err
 		}
 	}
-	return Result{Output: fmt.Sprintf("inserted %d row(s)", count)}, nil
+	return Result{Output: fmt.Sprintf("inserted %d row(s)", count), Rows: count}, nil
 }
 
 // wherePredicate parses "WHERE col = literal" and returns the column
@@ -423,7 +451,7 @@ func (s *Shell) wherePredicate(p *parser, t *engine.Table) (int, storage.Value, 
 	return col, key, nil
 }
 
-func (s *Shell) evalDelete(p *parser) (Result, error) {
+func (s *Shell) evalDelete(ctx context.Context, p *parser) (Result, error) {
 	if err := p.word("FROM"); err != nil {
 		return Result{}, err
 	}
@@ -439,7 +467,7 @@ func (s *Shell) evalDelete(p *parser) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	matches, _, err := t.QueryEqual(col, key)
+	matches, _, err := t.QueryEqualCtx(ctx, col, key)
 	if err != nil {
 		return Result{}, err
 	}
@@ -448,10 +476,10 @@ func (s *Shell) evalDelete(p *parser) (Result, error) {
 			return Result{}, err
 		}
 	}
-	return Result{Output: fmt.Sprintf("deleted %d row(s)", len(matches))}, nil
+	return Result{Output: fmt.Sprintf("deleted %d row(s)", len(matches)), Rows: len(matches)}, nil
 }
 
-func (s *Shell) evalUpdate(p *parser) (Result, error) {
+func (s *Shell) evalUpdate(ctx context.Context, p *parser) (Result, error) {
 	tname, err := p.ident()
 	if err != nil {
 		return Result{}, err
@@ -486,7 +514,7 @@ func (s *Shell) evalUpdate(p *parser) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	matches, _, err := t.QueryEqual(col, key)
+	matches, _, err := t.QueryEqualCtx(ctx, col, key)
 	if err != nil {
 		return Result{}, err
 	}
@@ -498,10 +526,10 @@ func (s *Shell) evalUpdate(p *parser) (Result, error) {
 			return Result{}, err
 		}
 	}
-	return Result{Output: fmt.Sprintf("updated %d row(s)", len(matches))}, nil
+	return Result{Output: fmt.Sprintf("updated %d row(s)", len(matches)), Rows: len(matches)}, nil
 }
 
-func (s *Shell) evalSelect(p *parser, explain bool) (Result, error) {
+func (s *Shell) evalSelect(ctx context.Context, p *parser, explain bool) (Result, error) {
 	if err := p.punct("*"); err != nil {
 		return Result{}, err
 	}
@@ -533,7 +561,7 @@ func (s *Shell) evalSelect(p *parser, explain bool) (Result, error) {
 	}
 
 	var rows []rowOut
-	var statsLine string
+	var stats exec.QueryStats
 	switch {
 	case op.kind == tokPunct && op.text == "=":
 		lt, err := p.next()
@@ -551,12 +579,12 @@ func (s *Shell) evalSelect(p *parser, explain bool) (Result, error) {
 			}
 			return Result{Output: plan.String()}, nil
 		}
-		matches, stats, err := t.QueryEqual(col, key)
+		matches, st, err := t.QueryEqualCtx(ctx, col, key)
 		if err != nil {
 			return Result{}, err
 		}
 		rows = renderMatches(t, matches)
-		statsLine = statsString(stats)
+		stats = st
 	case op.kind == tokWord && op.text == "BETWEEN":
 		loTok, err := p.next()
 		if err != nil {
@@ -584,12 +612,12 @@ func (s *Shell) evalSelect(p *parser, explain bool) (Result, error) {
 			}
 			return Result{Output: plan.String()}, nil
 		}
-		matches, stats, err := t.QueryRange(col, lo, hi)
+		matches, st, err := t.QueryRangeCtx(ctx, col, lo, hi)
 		if err != nil {
 			return Result{}, err
 		}
 		rows = renderMatches(t, matches)
-		statsLine = statsString(stats)
+		stats = st
 	default:
 		return Result{}, fmt.Errorf("expected = or BETWEEN, got %q", op.text)
 	}
@@ -599,8 +627,8 @@ func (s *Shell) evalSelect(p *parser, explain bool) (Result, error) {
 		sb.WriteString(r.line)
 		sb.WriteByte('\n')
 	}
-	fmt.Fprintf(&sb, "%d row(s) | %s", len(rows), statsLine)
-	return Result{Output: sb.String()}, nil
+	fmt.Fprintf(&sb, "%d row(s) | %s", len(rows), statsString(stats))
+	return Result{Output: sb.String(), Rows: len(rows), Stats: &stats}, nil
 }
 
 type rowOut struct{ line string }
@@ -635,6 +663,8 @@ func statsString(st engineStats) string {
 		mech = "partial index hit"
 	case st.FullScan:
 		mech = "full scan"
+	case st.QuotaDegraded:
+		mech = "degraded scan (tenant over quota)"
 	}
 	return fmt.Sprintf("%s: %d pages read, %d skipped, %d buffer entries added",
 		mech, st.PagesRead, st.PagesSkipped, st.EntriesAdded)
@@ -647,19 +677,30 @@ func (s *Shell) evalShow(p *parser) (Result, error) {
 	}
 	switch what.text {
 	case "BUFFERS":
+		// A tenant session sees only its own buffers and its own ledger;
+		// the default session sees everything plus the global occupancy.
 		var sb strings.Builder
-		bufs := s.eng.Space().Buffers()
-		if len(bufs) == 0 {
-			return Result{Output: "no index buffers"}, nil
-		}
-		for _, b := range bufs {
+		n := 0
+		for _, b := range s.eng.Space().Buffers() {
+			if s.tenant != nil && b.Tenant() != s.tenant {
+				continue
+			}
 			fmt.Fprintf(&sb, "%s: %d entries, %d partitions, %d pages buffered, benefit %.2f\n",
 				b.Name(), b.EntryCount(), b.PartitionCount(), b.BufferedPages(), b.Benefit())
+			n++
 		}
-		fmt.Fprintf(&sb, "space used: %d entries", s.eng.Space().Used())
-		return Result{Output: sb.String()}, nil
+		if n == 0 {
+			return Result{Output: "no index buffers"}, nil
+		}
+		if s.tenant != nil {
+			fmt.Fprintf(&sb, "tenant %s used: %d entries (quota %d, degraded %d)",
+				s.tenant.Name(), s.tenant.Used(), s.tenant.Quota(), s.tenant.Degraded())
+		} else {
+			fmt.Fprintf(&sb, "space used: %d entries", s.eng.Space().Used())
+		}
+		return Result{Output: sb.String(), Rows: n}, nil
 	case "TABLES":
-		names := s.eng.TableNames()
+		names := s.eng.TableNamesFor(s.tenant)
 		if len(names) == 0 {
 			return Result{Output: "no tables"}, nil
 		}
@@ -668,10 +709,10 @@ func (s *Shell) evalShow(p *parser) (Result, error) {
 			if i > 0 {
 				sb.WriteByte('\n')
 			}
-			t := s.eng.Table(n)
+			t := s.eng.TableFor(s.tenant, n)
 			fmt.Fprintf(&sb, "%s %s (%d pages)", n, t.Schema(), t.NumPages())
 		}
-		return Result{Output: sb.String()}, nil
+		return Result{Output: sb.String(), Rows: len(names)}, nil
 	case "STATS":
 		return Result{Output: s.eng.Tracer().Report()}, nil
 	case "TIMELINE":
@@ -679,8 +720,8 @@ func (s *Shell) evalShow(p *parser) (Result, error) {
 	case "INDEXES":
 		var sb strings.Builder
 		found := false
-		for _, n := range s.eng.TableNames() {
-			t := s.eng.Table(n)
+		for _, n := range s.eng.TableNamesFor(s.tenant) {
+			t := s.eng.TableFor(s.tenant, n)
 			for c := 0; c < t.Schema().NumColumns(); c++ {
 				if ix := t.Index(c); ix != nil {
 					if found {

@@ -29,7 +29,7 @@ import (
 type Event struct {
 	Table      string
 	Column     string
-	Mechanism  string // "hit", "indexing-scan", "full-scan", "shared-follower"
+	Mechanism  string // "hit", "indexing-scan", "full-scan", "degraded-scan", "shared-follower"
 	PagesRead  int
 	Skipped    int
 	Matches    int
@@ -163,7 +163,8 @@ func New(capacity int) *Tracer {
 }
 
 // Record ingests one query outcome, deriving the mechanism from the
-// stats: partial-index hit, full scan, or indexing scan.
+// stats: partial-index hit, full scan, quota-degraded scan, or indexing
+// scan.
 func (t *Tracer) Record(table, column string, stats exec.QueryStats) {
 	mech := "indexing-scan"
 	switch {
@@ -171,6 +172,8 @@ func (t *Tracer) Record(table, column string, stats exec.QueryStats) {
 		mech = "hit"
 	case stats.FullScan:
 		mech = "full-scan"
+	case stats.QuotaDegraded:
+		mech = "degraded-scan"
 	}
 	t.record(table, column, mech, stats)
 }

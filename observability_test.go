@@ -119,7 +119,7 @@ func TestDBMetricsHandler(t *testing.T) {
 	body := string(buf[:n])
 	for _, want := range []string{
 		`aib_queries_total{table="t",column="a"} 2`,
-		`aib_buffer_entries{buffer="t.a"}`,
+		`aib_buffer_entries{buffer="t.a",tenant=""}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q\n---\n%s", want, body)

@@ -1,0 +1,117 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/shell"
+)
+
+// This file is the statement-execution front door: one context-aware
+// entry point — Exec — shared by cmd/aibshell, cmd/aibserver and tests,
+// plus tenant-scoped Sessions over it. Statements are the shell query
+// language (CREATE TABLE, INSERT, SELECT ... WHERE col = v / BETWEEN,
+// EXPLAIN, SHOW ..., see HELP); Exec parses and executes exactly one
+// statement per call.
+
+// ExecResult is the outcome of one executed statement.
+type ExecResult struct {
+	// Output is the human-readable response, possibly multi-line.
+	Output string
+	// Rows is the number of rows returned (SELECT) or affected
+	// (INSERT/DELETE/UPDATE); zero for DDL and SHOW.
+	Rows int
+	// Stats carries the execution profile of a SELECT, nil otherwise.
+	Stats *QueryStats
+	// Quit reports that the statement was EXIT/QUIT — a REPL or a server
+	// connection should end the session.
+	Quit bool
+}
+
+// Exec parses and executes one statement against the default tenant.
+// Query statements honor ctx between page reads, so a long scan is
+// abandoned when the caller gives up; ctx errors surface as
+// context.Canceled / context.DeadlineExceeded. Safe for concurrent use.
+func (db *DB) Exec(ctx context.Context, stmt string) (ExecResult, error) {
+	return execShell(ctx, db.sh, stmt)
+}
+
+// Session is a tenant-scoped statement executor: its statements see only
+// the tenant's tables, and the tenant's Index-Buffer quota governs how
+// its misses adapt. Sessions are cheap (create one per connection) and
+// safe for concurrent use.
+type Session struct {
+	db     *DB
+	tenant string
+	sh     *shell.Shell
+}
+
+// Session returns a statement executor scoped to the named tenant. The
+// empty name is the default tenant; an unregistered name fails with
+// ErrTenantUnknown.
+func (db *DB) Session(tenant string) (*Session, error) {
+	tn, err := db.eng.TenantFor(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{db: db, tenant: tenant, sh: shell.NewTenant(db.eng, tn)}, nil
+}
+
+// Exec parses and executes one statement in the session's tenant scope;
+// see DB.Exec.
+func (s *Session) Exec(ctx context.Context, stmt string) (ExecResult, error) {
+	return execShell(ctx, s.sh, stmt)
+}
+
+// Tenant returns the session's tenant name ("" = default tenant).
+func (s *Session) Tenant() string { return s.tenant }
+
+func execShell(ctx context.Context, sh *shell.Shell, stmt string) (ExecResult, error) {
+	r, err := sh.EvalCtx(ctx, stmt)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Output: r.Output, Rows: r.Rows, Stats: r.Stats, Quit: r.Quit}, nil
+}
+
+// CreateTenant registers a budget domain after Open; see Options.Tenants
+// for the semantics. It fails on duplicate or empty names.
+func (db *DB) CreateTenant(t Tenant) error {
+	_, err := db.eng.CreateTenant(t.Name, t.Quota, t.Strict)
+	return err
+}
+
+// TenantStats is one tenant's quota ledger: configured budget, current
+// occupancy, and how its over-quota misses and cross-tenant evictions
+// have accumulated.
+type TenantStats struct {
+	Name   string
+	Quota  int  // configured entry budget (0 = unlimited)
+	Strict bool // over-quota misses error instead of degrading
+	Used   int  // entries currently held by the tenant's buffers
+	// Degraded counts misses that ran as unindexed scans because the
+	// tenant was over quota.
+	Degraded uint64
+	// Evicted counts entries the tenant lost to other tenants' scans
+	// (possible only when quotas overcommit SpaceLimit).
+	Evicted uint64
+}
+
+// TenantStats reads every tenant's quota ledger, in creation order.
+func (db *DB) TenantStats() []TenantStats {
+	var out []TenantStats
+	for _, tn := range db.eng.Tenants() {
+		q := tn.Quota()
+		if q < 0 {
+			q = 0
+		}
+		out = append(out, TenantStats{
+			Name:     tn.Name(),
+			Quota:    q,
+			Strict:   tn.Strict(),
+			Used:     tn.Used(),
+			Degraded: tn.Degraded(),
+			Evicted:  tn.Evicted(),
+		})
+	}
+	return out
+}
