@@ -39,7 +39,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"time"
 
@@ -82,7 +81,22 @@ type Options struct {
 	ScanParallelism int
 	// Structure selects the buffer's index structure.
 	Structure Structure
-	// Seed drives the benefit-weighted random victim selection.
+	// Selection orders the page candidates of Algorithm 2's selection.
+	// The zero value is the paper's ascending-counter policy; see
+	// SelectRandom for the workloads where determinism backfires.
+	Selection SelectionPolicy
+	// DisplacementJitter is the probability, per victim-partition pick,
+	// that displacement drops a uniformly random partition instead of
+	// following the paper's deterministic incomplete-first order. 0 (the
+	// default) is the paper's policy; nonzero values defeat workloads
+	// that key off displacement events to starve a buffer (cf.
+	// stochastic cracking). Must be in [0, 1].
+	DisplacementJitter float64
+	// Seed drives every random stream of the database — benefit-weighted
+	// victim selection, SelectRandom page ordering and displacement
+	// jitter — per the repo seeding convention (sub-streams derive from
+	// this one seed by fixed offsets). 0 means a fixed default, so runs
+	// are reproducible unless a seed is chosen explicitly.
 	Seed int64
 	// DisableIndexBuffer turns the contribution off (baseline mode):
 	// partial-index misses degrade to full scans.
@@ -117,6 +131,37 @@ type Tenant struct {
 	// Strict makes over-quota misses fail with ErrQuotaExceeded instead
 	// of degrading to unindexed scans.
 	Strict bool
+}
+
+// SelectionPolicy enumerates the page-selection orderings of
+// Algorithm 2 — which candidate pages an indexing scan buffers first.
+type SelectionPolicy int
+
+const (
+	// SelectAscending is the paper's policy: cheapest counters first
+	// (pages needing the fewest entries to become skippable).
+	SelectAscending SelectionPolicy = iota
+	// SelectDescending buffers the most expensive pages first; it exists
+	// for ablation benchmarks.
+	SelectDescending
+	// SelectRandom shuffles the candidates (seeded by Options.Seed).
+	// Deterministic selection re-picks the same pages after every
+	// displacement, so adversarial or unluckily aligned workloads can
+	// starve a buffer indefinitely; random order converges on them
+	// (cf. Halim et al., "Stochastic Database Cracking").
+	SelectRandom
+)
+
+// order maps the enum to the core policy.
+func (s SelectionPolicy) order() core.SelectionOrder {
+	switch s {
+	case SelectDescending:
+		return core.DescendingCounter
+	case SelectRandom:
+		return core.RandomOrder
+	default:
+		return core.AscendingCounter
+	}
 }
 
 // Structure enumerates the index structures an Index Buffer can use —
@@ -214,11 +259,18 @@ func (o Options) validate() error {
 		return fmt.Errorf("repro: Options.PoolPages %d is negative", o.PoolPages)
 	case o.ScanParallelism < 0:
 		return fmt.Errorf("repro: Options.ScanParallelism %d is negative", o.ScanParallelism)
+	case o.DisplacementJitter < 0 || o.DisplacementJitter > 1:
+		return fmt.Errorf("repro: Options.DisplacementJitter %v is outside [0, 1]", o.DisplacementJitter)
 	}
 	switch o.Structure {
 	case BTree, CSBTree, HashTable:
 	default:
 		return fmt.Errorf("repro: unknown Options.Structure %d", o.Structure)
+	}
+	switch o.Selection {
+	case SelectAscending, SelectDescending, SelectRandom:
+	default:
+		return fmt.Errorf("repro: unknown Options.Selection %d", o.Selection)
 	}
 	seen := make(map[string]bool, len(o.Tenants))
 	for _, tn := range o.Tenants {
@@ -244,16 +296,16 @@ func engineConfig(o Options) engine.Config {
 		ReadLatency:     o.ReadLatency,
 		WriteLatency:    o.WriteLatency,
 		Space: core.Config{
-			IMax:         o.IMax,
-			P:            o.PartitionPages,
-			K:            o.HistoryDepth,
-			SpaceLimit:   o.SpaceLimit,
-			NewStructure: o.Structure.factory(),
+			IMax:               o.IMax,
+			P:                  o.PartitionPages,
+			K:                  o.HistoryDepth,
+			SpaceLimit:         o.SpaceLimit,
+			NewStructure:       o.Structure.factory(),
+			Selection:          o.Selection.order(),
+			DisplacementJitter: o.DisplacementJitter,
+			Seed:               o.Seed,
 		},
 		DisableIndexBuffer: o.DisableIndexBuffer,
-	}
-	if o.Seed != 0 {
-		cfg.Space.Rand = rand.New(rand.NewSource(o.Seed))
 	}
 	return cfg
 }

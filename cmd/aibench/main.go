@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -27,22 +28,45 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 6, 7, 8, 9, bridge, corr, churn or all")
-		rows      = flag.Int("rows", 50000, "table rows (paper: 500000)")
-		queries   = flag.Int("queries", 200, "queries per experiment (paper: 200)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		format    = flag.String("format", "table", "output format: table, tsv or plot")
-		step      = flag.Int("step", 10, "table output: print every step-th query")
-		latency   = flag.Duration("latency", 0, "simulated device read latency (e.g. 100us); shapes wall-clock series")
-		listen    = flag.String("listen", "", "serve /metrics and /timeline (current experiment) and /debug/pprof on this address")
-		telemetry = flag.String("telemetry", "", "stream structured telemetry (spans + timeline samples) as JSONL to this file")
-		verify    = flag.String("verify-telemetry", "", "validate a telemetry JSONL file and exit (no experiments run)")
+		fig        = flag.String("fig", "all", "figure to regenerate: 1, 3, 6, 7, 8, 9, bridge, corr, churn or all")
+		rows       = flag.Int("rows", 50000, "table rows (paper: 500000)")
+		queries    = flag.Int("queries", 200, "queries per experiment (paper: 200)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		format     = flag.String("format", "table", "output format: table, tsv or plot")
+		step       = flag.Int("step", 10, "table output: print every step-th query")
+		latency    = flag.Duration("latency", 0, "simulated device read latency (e.g. 100us); shapes wall-clock series")
+		listen     = flag.String("listen", "", "serve /metrics and /timeline (current experiment) and /debug/pprof on this address")
+		telemetry  = flag.String("telemetry", "", "stream structured telemetry (spans + timeline samples) as JSONL to this file")
+		verify     = flag.String("verify-telemetry", "", "validate a telemetry JSONL file and exit (no experiments run)")
+		robustness = flag.Bool("robustness", false, "run the workload-robustness scenario suite instead of figures")
+		out        = flag.String("out", "", "robustness: write the result matrix as JSON to this file")
+		baseline   = flag.String("baseline", "", "robustness: compare against this committed baseline JSON and fail on regression")
 	)
 	flag.Parse()
 
 	if *verify != "" {
 		if err := verifyTelemetry(*verify); err != nil {
 			fmt.Fprintln(os.Stderr, "aibench: verify-telemetry:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *robustness {
+		// The robustness matrix runs 15 engine setups, so it defaults to
+		// its own smaller scale; -rows/-queries/-seed still win when given
+		// explicitly.
+		o := bench.Options{Seed: *seed}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "rows":
+				o.Rows = *rows
+			case "queries":
+				o.Queries = *queries
+			}
+		})
+		if err := runRobustness(o, *out, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "aibench: robustness:", err)
 			os.Exit(1)
 		}
 		return
@@ -132,6 +156,62 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runRobustness runs the scenario × selection-arm matrix, prints it,
+// enforces the adversarial acceptance criterion, and optionally writes
+// the JSON artifact and diffs it against a committed baseline.
+func runRobustness(o bench.Options, out, baseline string) error {
+	r, err := bench.RunRobustness(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Workload robustness: %d rows, %d ops per cell, seed %d, target %.0f%% coverage ==\n",
+		r.Rows, r.Ops, r.Seed, 100*r.Target)
+	for _, sc := range r.Scenarios {
+		fmt.Printf("%s:\n", sc.Scenario)
+		for _, a := range sc.Arms {
+			verdict := fmt.Sprintf("converged after %d ops", a.OpsToTarget)
+			if !a.Achieved {
+				verdict = fmt.Sprintf("NOT converged in %d ops (max coverage %.1f%%)", r.Ops, 100*a.MaxCoverage)
+			}
+			fmt.Printf("  %-14s %s\n", a.Arm, verdict)
+		}
+	}
+	fmt.Println()
+
+	if out != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("robustness matrix -> %s\n", out)
+	}
+	if err := r.CheckAdversarial(); err != nil {
+		return err
+	}
+	fmt.Println("adversarial criterion: ok (stochastic selection converges in <= half the deterministic arm's ops)")
+	if baseline != "" {
+		data, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		var base bench.RobustnessResult
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", baseline, err)
+		}
+		if regs := r.CompareBaseline(&base); len(regs) > 0 {
+			for _, reg := range regs {
+				fmt.Fprintln(os.Stderr, "regression:", reg)
+			}
+			return fmt.Errorf("%d regression(s) vs baseline %s", len(regs), baseline)
+		}
+		fmt.Printf("baseline %s: no regressions\n", baseline)
+	}
+	return nil
 }
 
 // printConvergence summarizes the just-finished experiment's timeline

@@ -89,10 +89,36 @@ type Config struct {
 	// the zero value is the paper's benefit-weighted random policy.
 	Victims VictimPolicy
 
-	// Rand drives the benefit-weighted random victim selection. Nil means
-	// a deterministic source seeded with 1, keeping experiments
-	// reproducible.
+	// Seed drives every random stream of the Space (victim selection,
+	// RandomOrder shuffling, displacement jitter) per the repo seeding
+	// convention: one explicit seed, sub-streams derived by fixed
+	// offsets so one stream's consumption never perturbs another. Zero
+	// means DefaultSeed, keeping experiments reproducible by default.
+	Seed int64
+
+	// DisplacementJitter is the probability, per victim-partition pick,
+	// that stage 2 of Algorithm 2's displacement chooses a uniformly
+	// random droppable partition instead of the deterministic
+	// incomplete-first order. Nonzero values break the adversarial
+	// starvation cycle where a workload keyed on displacement events
+	// kills the same frontier partition every round (cf. stochastic
+	// cracking); 0 (the default) is the paper's deterministic policy.
+	// Values are clamped to [0, 1].
+	DisplacementJitter float64
+
+	// Rand drives the benefit-weighted random victim selection. Nil
+	// means a stream derived from Seed; set it only to override that
+	// stream (the selection and jitter streams always derive from Seed).
 	Rand *rand.Rand
+
+	// selRand and jitterRand are the derived sub-streams for the
+	// RandomOrder candidate shuffle and the displacement jitter. They
+	// are populated by withDefaults and intentionally unexported:
+	// deriving them from Seed (rather than sharing Rand) keeps victim
+	// selection bit-for-bit identical whether or not the stochastic
+	// policies consume randomness.
+	selRand    *rand.Rand
+	jitterRand *rand.Rand
 }
 
 // Defaults for Config fields left zero.
@@ -100,9 +126,21 @@ const (
 	DefaultIMax = 5000
 	DefaultP    = 10000
 	DefaultK    = 2
+	// DefaultSeed seeds the Space's random streams when Config.Seed is
+	// zero — the same constant the nil-Rand fallback has always used.
+	DefaultSeed = 1
 )
 
-// withDefaults returns a copy of c with zero fields replaced by defaults.
+// Fixed offsets deriving the Space's independent sub-streams from one
+// seed (the repo seeding convention; see internal/workload's package
+// doc). Distinct primes keep the derived seeds distinct for any base.
+const (
+	seedOffsetSelection = 7919
+	seedOffsetJitter    = 104729
+)
+
+// withDefaults returns a copy of c with zero fields replaced by defaults
+// and the derived random sub-streams populated.
 func (c Config) withDefaults() Config {
 	if c.IMax <= 0 {
 		c.IMax = DefaultIMax
@@ -116,8 +154,18 @@ func (c Config) withDefaults() Config {
 	if c.NewStructure == nil {
 		c.NewStructure = NewBTreeStructure
 	}
-	if c.Rand == nil {
-		c.Rand = rand.New(rand.NewSource(1))
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
 	}
+	if c.DisplacementJitter < 0 {
+		c.DisplacementJitter = 0
+	} else if c.DisplacementJitter > 1 {
+		c.DisplacementJitter = 1
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(c.Seed))
+	}
+	c.selRand = rand.New(rand.NewSource(c.Seed + seedOffsetSelection))
+	c.jitterRand = rand.New(rand.NewSource(c.Seed + seedOffsetJitter))
 	return c
 }

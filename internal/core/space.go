@@ -38,10 +38,13 @@ type Space struct {
 // Observer receives buffer-management span events from the Space. The
 // kinds mirror internal/trace's span constants (this package cannot
 // import trace without a cycle): "page-select" after Algorithm 2 chose
-// the page set I (buffer = target, n = |I|), and "displace" for each
+// the page set I (buffer = target, n = |I|), "displace" for each
 // victim partition dropped (buffer = victim's owner, n = entries
-// released). Implementations are called with Space.mu held and must not
-// call back into the Space or its buffers.
+// released), and "buffer-reset" when a buffer is dropped wholesale
+// (partial index dropped or redefined; n = entries released) — a new
+// buffer under the same name starts a fresh adaptation episode.
+// Implementations are called with Space.mu held and must not call back
+// into the Space or its buffers.
 type Observer interface {
 	SpaceEvent(kind, buffer string, page, n int)
 }
@@ -142,6 +145,9 @@ func (s *Space) DropBuffer(name string) {
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				break
 			}
+		}
+		if s.obs != nil {
+			s.obs.SpaceEvent("buffer-reset", name, -1, b.EntryCount())
 		}
 	}
 	s.mu.Unlock()
@@ -251,7 +257,10 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 			return cands[i].page < cands[j].page
 		})
 	case RandomOrder:
-		s.cfg.Rand.Shuffle(len(cands), func(i, j int) {
+		// The shuffle draws from its own derived stream, never from the
+		// victim-selection stream, so switching policies does not perturb
+		// displacement replay.
+		s.cfg.selRand.Shuffle(len(cands), func(i, j int) {
 			cands[i], cands[j] = cands[j], cands[i]
 		})
 	default: // AscendingCounter — the paper's policy
@@ -439,7 +448,7 @@ func (s *Space) selectNextVictim(target *IndexBuffer, excluded map[*Partition]bo
 		picked = choices[len(choices)-1].buf
 	}
 	picked.mu.RLock()
-	part := picked.pickVictimPartitionLocked(excluded, s.cfg.P)
+	part := picked.pickVictimPartitionLocked(excluded, &s.cfg)
 	var entries int
 	var benefit float64
 	if part != nil {
@@ -468,15 +477,32 @@ func (b *IndexBuffer) hasDroppable(excluded map[*Partition]bool) bool {
 // pickVictimPartitionLocked applies stage 2: the incomplete partition
 // (X_p < P) has the lowest benefit and goes first; complete partitions
 // follow in descending size n_p (equal benefit, so free the most space).
-// Callers hold b.mu.
-func (b *IndexBuffer) pickVictimPartitionLocked(excluded map[*Partition]bool, P int) *Partition {
+// With probability cfg.DisplacementJitter the deterministic order is
+// replaced by a uniform pick over the droppable partitions — an
+// adversary that triggers displacement right after every scan would
+// otherwise kill the same frontier partition every round and starve
+// convergence indefinitely. Callers hold b.mu; the Space's mutex is
+// also held (selectNextVictim), which serializes the jitter stream.
+func (b *IndexBuffer) pickVictimPartitionLocked(excluded map[*Partition]bool, cfg *Config) *Partition {
+	if j := cfg.DisplacementJitter; j > 0 && cfg.jitterRand.Float64() < j {
+		var droppable []*Partition
+		for _, p := range b.parts {
+			if !excluded[p] {
+				droppable = append(droppable, p)
+			}
+		}
+		if len(droppable) == 0 {
+			return nil
+		}
+		return droppable[cfg.jitterRand.Intn(len(droppable))]
+	}
 	var incomplete *Partition
 	var best *Partition
 	for _, p := range b.parts {
 		if excluded[p] {
 			continue
 		}
-		if !p.complete(P) {
+		if !p.complete(cfg.P) {
 			if incomplete == nil || p.PageCount() < incomplete.PageCount() {
 				incomplete = p
 			}

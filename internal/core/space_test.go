@@ -164,22 +164,22 @@ func TestVictimStageTwoOrdering(t *testing.T) {
 	indexPages(t, b, []storage.PageID{4})    // partition 2: incomplete (1 of 2 pages)
 
 	excluded := map[*Partition]bool{}
-	v1 := b.pickVictimPartitionLocked(excluded, 2)
+	v1 := b.pickVictimPartitionLocked(excluded, b.cfg)
 	if v1.PageCount() != 1 {
 		t.Fatalf("first victim should be the incomplete partition, got %d pages / %d entries", v1.PageCount(), v1.EntryCount())
 	}
 	excluded[v1] = true
-	v2 := b.pickVictimPartitionLocked(excluded, 2)
+	v2 := b.pickVictimPartitionLocked(excluded, b.cfg)
 	if v2.EntryCount() != 7 {
 		t.Fatalf("second victim should be the biggest complete partition, got %d entries", v2.EntryCount())
 	}
 	excluded[v2] = true
-	v3 := b.pickVictimPartitionLocked(excluded, 2)
+	v3 := b.pickVictimPartitionLocked(excluded, b.cfg)
 	if v3.EntryCount() != 3 {
 		t.Fatalf("third victim: got %d entries", v3.EntryCount())
 	}
 	excluded[v3] = true
-	if b.pickVictimPartitionLocked(excluded, 2) != nil {
+	if b.pickVictimPartitionLocked(excluded, b.cfg) != nil {
 		t.Error("exhausted buffer still yields victims")
 	}
 }

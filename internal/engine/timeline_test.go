@@ -137,6 +137,64 @@ func TestTimelineDisplacementResample(t *testing.T) {
 	}
 }
 
+// TestTimelineShiftingWorkloadReset reproduces the shifting-workload
+// false positive: a column converges, the workload shifts and the
+// partial index is redefined for the new range (dropping the buffer),
+// and the detector must open a fresh episode — not keep reporting the
+// dead buffer's "converged" verdict with a regression flag. The second
+// convergence then gets its own crossing ordinal.
+func TestTimelineShiftingWorkloadReset(t *testing.T) {
+	e, tb := newABC(t, Config{}, 1200, 120)
+	if err := tb.CreatePartialIndex(0, index.IntRange(1, 30)); err != nil {
+		t.Fatal(err)
+	}
+	e.Timeline().Enable(true)
+
+	// Phase 1: misses in [31, 60]; the default I^MAX covers the whole
+	// table, so the first indexing scan converges the buffer.
+	for k := int64(31); k <= 40; k++ {
+		if _, _, err := tb.QueryEqual(0, iv(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := e.Convergence()[0]
+	if !c.Achieved || c.Resets != 0 {
+		t.Fatalf("phase 1 did not converge: %+v", c)
+	}
+	firstCrossing := c.QueriesToTarget
+
+	// The workload shifts: redefine the index for the new hot range.
+	// RedefineIndex drops and recreates the buffer from scratch.
+	if err := tb.RedefineIndex(0, index.IntRange(61, 90)); err != nil {
+		t.Fatal(err)
+	}
+	c = e.Convergence()[0]
+	if c.Achieved || c.Regressed {
+		t.Fatalf("stale converged verdict survived the shift: %+v", c)
+	}
+	if c.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", c.Resets)
+	}
+
+	// Phase 2: misses in [91, 120] re-converge the fresh buffer; the
+	// new crossing ordinal must postdate the first episode's.
+	for k := int64(91); k <= 100; k++ {
+		if _, _, err := tb.QueryEqual(0, iv(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c = e.Convergence()[0]
+	if !c.Achieved {
+		t.Fatalf("phase 2 did not re-converge: %+v", c)
+	}
+	if c.QueriesToTarget <= firstCrossing {
+		t.Errorf("second crossing at query %d, not after the first (%d)", c.QueriesToTarget, firstCrossing)
+	}
+	if c.Regressed {
+		t.Errorf("re-converged column still flagged regressed: %+v", c)
+	}
+}
+
 // TestMetricsTimelineFamilies checks the new exposition families are
 // present and coherent once the timeline has data.
 func TestMetricsTimelineFamilies(t *testing.T) {

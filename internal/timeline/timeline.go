@@ -155,6 +155,13 @@ type Convergence struct {
 	// drop below Target.
 	Regressed   bool   `json:"regressed"`
 	RegressedAt uint64 `json:"regressed_at,omitempty"`
+	// Resets counts buffer-reset events (partial index dropped or
+	// redefined): each one discards the buffer wholesale and starts a
+	// fresh adaptation episode, so Achieved/QueriesToTarget/MaxCoverage
+	// describe the *current* episode only. Without this reset a
+	// shifting workload that redefines its index would keep reporting
+	// the stale pre-shift "converged" verdict forever.
+	Resets uint64 `json:"resets,omitempty"`
 	// Queries is the series' total query count.
 	Queries uint64 `json:"queries"`
 }
@@ -177,13 +184,16 @@ type series struct {
 	pageCompletes    uint64
 
 	// convergence state, updated incrementally at every append so the
-	// verdict survives ring eviction.
+	// verdict survives ring eviction. A buffer-reset event clears the
+	// episode fields (achieved through regressedAt) — the buffer was
+	// recreated from scratch, so the old verdict no longer describes it.
 	achieved        bool
 	queriesToTarget uint64
 	coverage        float64
 	maxCoverage     float64
 	regressed       bool
 	regressedAt     uint64
+	resets          uint64
 }
 
 // snapshot is a buffer-state reading taken outside the recorder lock.
@@ -324,10 +334,11 @@ func (r *Recorder) Resample(name string, buf *core.IndexBuffer) {
 }
 
 // NoteEvent ingests one adaptive event (the trace span vocabulary:
-// kind/target/page/n). It only bumps churn counters and marks the
-// target buffer dirty for the next query boundary — it is safe to call
-// with any core lock held, including from the core.Observer bridge
-// (Space.mu held).
+// kind/target/page/n). It only touches recorder-internal state — bumps
+// churn counters, resets the convergence episode on "buffer-reset",
+// marks the target buffer dirty for the next query boundary — so it is
+// safe to call with any core lock held, including from the
+// core.Observer bridge (Space.mu held).
 func (r *Recorder) NoteEvent(kind, target string, page, n int) {
 	if !r.enabled.Load() {
 		return
@@ -343,6 +354,21 @@ func (r *Recorder) NoteEvent(kind, target string, page, n int) {
 		r.dirty[target] = struct{}{}
 	case "page-complete":
 		s.pageCompletes++
+		r.dirty[target] = struct{}{}
+	case "buffer-reset":
+		// The buffer was dropped wholesale (partial index dropped or
+		// redefined); any successor under the same name is a new
+		// adaptation episode. Clearing the episode state here fixes the
+		// detector's stale-converged false positive under shifting
+		// workloads: the verdict would otherwise report the pre-shift
+		// convergence (merely "regressed") for a buffer that no longer
+		// exists.
+		s.resets++
+		s.achieved = false
+		s.queriesToTarget = 0
+		s.maxCoverage = 0
+		s.regressed = false
+		s.regressedAt = 0
 		r.dirty[target] = struct{}{}
 	}
 }
@@ -518,6 +544,7 @@ func (s *series) verdict(target float64) Convergence {
 		MaxCoverage:     s.maxCoverage,
 		Regressed:       s.regressed,
 		RegressedAt:     s.regressedAt,
+		Resets:          s.resets,
 		Queries:         s.queries,
 	}
 }

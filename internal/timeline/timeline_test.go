@@ -169,6 +169,54 @@ func TestConvergenceAchieveRegressRecover(t *testing.T) {
 	}
 }
 
+// TestConvergenceBufferResetStartsNewEpisode pins the episode
+// semantics: a buffer-reset event (partial index dropped or redefined)
+// clears the stale "converged" verdict — the detector would otherwise
+// report the old buffer's achievement for its fresh replacement,
+// flagging the rebuild as a mere regression.
+func TestConvergenceBufferResetStartsNewEpisode(t *testing.T) {
+	r := New(16, 0.75)
+	r.Enable(true)
+	high := mkBuf(t, "t.a", []int{0, 0, 0, 1}) // coverage 0.75
+	low := mkBuf(t, "t.a", []int{1, 1, 1, 0})  // coverage 0.25
+
+	r.ObserveQuery("t", "a", MechIndexingScan, high, nil)
+	if c := r.Convergence()[0]; !c.Achieved || c.QueriesToTarget != 1 {
+		t.Fatalf("setup verdict: %+v", c)
+	}
+
+	// The index is redefined: the buffer is dropped and recreated.
+	r.NoteEvent("buffer-reset", "t.a", -1, 3)
+	c := r.Convergence()[0]
+	if c.Achieved || c.Regressed || c.QueriesToTarget != 0 {
+		t.Fatalf("stale verdict survived buffer reset: %+v", c)
+	}
+	if c.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", c.Resets)
+	}
+	if c.MaxCoverage != 0 {
+		t.Errorf("MaxCoverage = %g, want 0 after reset", c.MaxCoverage)
+	}
+	if d := r.TakeDirty(); len(d) != 1 || d[0] != "t.a" {
+		t.Errorf("buffer-reset did not dirty the series: %v", d)
+	}
+
+	// The fresh buffer starts low, then re-achieves: the second episode
+	// gets its own crossing ordinal, not the first's.
+	r.ObserveQuery("t", "a", MechIndexingScan, low, nil)
+	if c := r.Convergence()[0]; c.Achieved || c.Regressed {
+		t.Fatalf("new episode inherited old verdict: %+v", c)
+	}
+	r.ObserveQuery("t", "a", MechIndexingScan, high, nil)
+	c = r.Convergence()[0]
+	if !c.Achieved || c.QueriesToTarget != 3 {
+		t.Fatalf("re-achievement verdict: %+v", c)
+	}
+	if c.Resets != 1 || c.Queries != 3 {
+		t.Errorf("episode bookkeeping: %+v", c)
+	}
+}
+
 func TestNoteEventDirtyResample(t *testing.T) {
 	r := New(8, 0.95)
 	r.Enable(true)

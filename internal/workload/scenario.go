@@ -1,0 +1,269 @@
+// Scenario streams for the workload-robustness suite: five access
+// patterns under which deterministic adaptive indexing is known (or
+// suspected) to behave very differently from its average-case curves —
+// sequential sweeps, Zipf skew, periodic range shift, DML bursts
+// mid-convergence, and an adversary that preferentially re-misses
+// just-displaced state (cf. Halim et al., "Stochastic Database
+// Cracking": deterministic cracking collapses under sequential and
+// adversarial patterns). Every scenario is seeded and replays
+// bit-identically per the repo seeding convention; a scenario never
+// touches the engine itself — it emits Ops that a runner (see
+// internal/bench.RunRobustness) applies, and receives adaptive-state
+// Feedback before each step so reactive patterns can key off
+// displacement events.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind classifies one scenario step.
+type OpKind int
+
+const (
+	// OpQuery is a point query: Column = Key.
+	OpQuery OpKind = iota
+	// OpInsert adds one row whose key columns all hold Key.
+	OpInsert
+	// OpDelete removes the oldest row this scenario inserted (a no-op
+	// while none remain); Column and Key are ignored.
+	OpDelete
+)
+
+// String renders the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpQuery:
+		return "query"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one scenario step.
+type Op struct {
+	Kind   OpKind
+	Column int   // key column index (OpQuery)
+	Key    int64 // query key or inserted key value
+}
+
+// Feedback carries the runner's observation of the engine's adaptive
+// state back into the scenario before each step. Reactive scenarios
+// (AdversarialDisplacement) key off it; the others ignore it.
+type Feedback struct {
+	// DisplacedEntries[c] is the cumulative number of Index Buffer
+	// entries displaced from column c's buffer so far.
+	DisplacedEntries []uint64
+}
+
+// Scenario produces a seeded, replayable statement stream. Next is
+// called with q = 0, 1, 2, ... in order; calling a fresh scenario
+// constructed with the same parameters replays the identical stream
+// given identical feedback.
+type Scenario interface {
+	// Name identifies the scenario family in results and baselines.
+	Name() string
+	// Columns is the number of key columns the scenario touches; the
+	// runner indexes exactly that many.
+	Columns() int
+	// Next returns the q-th op.
+	Next(q int, fb Feedback) Op
+}
+
+// --- 1. Sequential sweep -------------------------------------------------
+
+// sequentialSweep queries column 0 with keys lo, lo+step, ..., wrapping
+// at hi — the fully deterministic pattern stochastic cracking was built
+// against. No randomness at all: the replay test pins it literally.
+type sequentialSweep struct {
+	lo, hi, step int64
+}
+
+// NewSequentialSweep sweeps keys over [lo, hi] in step increments,
+// wrapping around.
+func NewSequentialSweep(lo, hi, step int64) Scenario {
+	if hi < lo || step < 1 {
+		panic(fmt.Sprintf("workload: sequential sweep [%d, %d] step %d", lo, hi, step))
+	}
+	return &sequentialSweep{lo: lo, hi: hi, step: step}
+}
+
+func (s *sequentialSweep) Name() string { return "sequential-sweep" }
+func (s *sequentialSweep) Columns() int { return 1 }
+func (s *sequentialSweep) Next(q int, _ Feedback) Op {
+	span := (s.hi-s.lo)/s.step + 1
+	return Op{Kind: OpQuery, Column: 0, Key: s.lo + (int64(q)%span)*s.step}
+}
+
+// --- 2. Zipf skew --------------------------------------------------------
+
+// zipfSkew queries column 0 with Zipf-distributed keys over [lo, hi]:
+// a few keys dominate, the tail is long — convergence must come from
+// the rare tail misses.
+type zipfSkew struct {
+	lo   int64
+	draw Draw
+	rng  *rand.Rand
+}
+
+// NewZipfSkew draws keys lo-1+Zipf(skew) over [lo, hi]; skew > 1.
+func NewZipfSkew(skew float64, lo, hi int64, seed int64) Scenario {
+	return &zipfSkew{lo: lo, draw: Zipf(skew, hi-lo+1, seed), rng: rand.New(rand.NewSource(seed + 1))}
+}
+
+func (z *zipfSkew) Name() string { return "zipf-skew" }
+func (z *zipfSkew) Columns() int { return 1 }
+func (z *zipfSkew) Next(int, Feedback) Op {
+	return Op{Kind: OpQuery, Column: 0, Key: z.lo - 1 + z.draw(z.rng)}
+}
+
+// --- 3. Periodic range shift --------------------------------------------
+
+// periodicShift alternates uniform draws between two ranges every
+// period queries — Fig. 1's shifting workload, but oscillating instead
+// of shifting once, so "converged" state keeps being invalidated.
+type periodicShift struct {
+	a, b   Draw
+	period int
+	rng    *rand.Rand
+}
+
+// NewPeriodicShift queries uniform [lo1, hi1] for period queries, then
+// uniform [lo2, hi2] for the next period, and so on.
+func NewPeriodicShift(lo1, hi1, lo2, hi2 int64, period int, seed int64) Scenario {
+	if period < 1 {
+		panic(fmt.Sprintf("workload: periodic shift period %d", period))
+	}
+	return &periodicShift{
+		a: Uniform(lo1, hi1), b: Uniform(lo2, hi2),
+		period: period, rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (p *periodicShift) Name() string { return "periodic-shift" }
+func (p *periodicShift) Columns() int { return 1 }
+func (p *periodicShift) Next(q int, _ Feedback) Op {
+	draw := p.a
+	if (q/p.period)%2 == 1 {
+		draw = p.b
+	}
+	return Op{Kind: OpQuery, Column: 0, Key: draw(p.rng)}
+}
+
+// --- 4. DML bursts mid-convergence --------------------------------------
+
+// dmlBurst runs uniform queries with periodic insert/delete bursts:
+// inserts land on never-buffered pages and deletes invalidate buffered
+// entries, so each burst dents coverage mid-convergence.
+type dmlBurst struct {
+	draw  Draw
+	every int
+	burst int
+	rng   *rand.Rand
+}
+
+// NewDMLBurst queries uniform [lo, hi]; after every `every` ops it
+// emits a burst of `burst` DML ops (alternating insert and delete, keys
+// uniform over the same range).
+func NewDMLBurst(lo, hi int64, every, burst int, seed int64) Scenario {
+	if every < 1 || burst < 1 {
+		panic(fmt.Sprintf("workload: dml burst every %d burst %d", every, burst))
+	}
+	return &dmlBurst{draw: Uniform(lo, hi), every: every, burst: burst, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (d *dmlBurst) Name() string { return "dml-burst" }
+func (d *dmlBurst) Columns() int { return 1 }
+func (d *dmlBurst) Next(q int, _ Feedback) Op {
+	// Positions cycle: `every` queries, then `burst` DML ops.
+	pos := q % (d.every + d.burst)
+	key := d.draw(d.rng) // always consume exactly one draw per op: replayable
+	if pos < d.every {
+		return Op{Kind: OpQuery, Column: 0, Key: key}
+	}
+	if (pos-d.every)%2 == 0 {
+		return Op{Kind: OpInsert, Column: 0, Key: key}
+	}
+	return Op{Kind: OpDelete}
+}
+
+// --- 5. Adversarial displacement ----------------------------------------
+
+// AdversarialConfig parameterizes the displacement adversary.
+type AdversarialConfig struct {
+	// VictimLo/VictimHi is the victim query range on column 0 (keys
+	// should miss the partial index so every query is an indexing scan).
+	VictimLo, VictimHi int64
+	// DecoyLo/DecoyHi is the attack range on column 1.
+	DecoyLo, DecoyHi int64
+	// Warmup is the number of initial decoy queries that build the decoy
+	// buffer before the war starts — without it the victim converges
+	// before the space budget binds and no displacement ever happens.
+	Warmup int
+	// Burst is the number of consecutive decoy queries fired per attack.
+	// Bursts keep the decoy buffer hot enough (LRU-K) to win the benefit
+	// competition against the victim's partitions.
+	Burst int
+	// Seed drives the key draws.
+	Seed int64
+}
+
+// adversarial implements the just-displaced attack: it queries the
+// victim column (whose scans must displace the warmed-up decoy buffer
+// to make space), and the moment the feedback shows decoy entries were
+// displaced it re-misses the decoy — a burst of queries against exactly
+// the just-displaced partitions. Rebuilding them forces displacement
+// back onto the victim, and against the paper's deterministic stage-2
+// victim choice (incomplete partition first) every such displacement
+// kills the victim's frontier partition — the very pages the victim's
+// scans just rebuilt — so the victim's coverage plateaus indefinitely.
+// Randomized victim picks (core.Config.DisplacementJitter) break the
+// fixed cycle and let the victim converge.
+type adversarial struct {
+	cfg    AdversarialConfig
+	victim Draw
+	decoy  Draw
+	rng    *rand.Rand
+
+	seenDisplaced uint64 // last observed decoy displaced-entries count
+	pendingBurst  int    // decoy queries still owed for the last attack
+}
+
+// NewAdversarialDisplacement builds the displacement adversary; it
+// drives two columns (0 = victim, 1 = decoy).
+func NewAdversarialDisplacement(cfg AdversarialConfig) Scenario {
+	if cfg.Warmup < 0 || cfg.Burst < 1 {
+		panic(fmt.Sprintf("workload: adversarial warmup %d burst %d", cfg.Warmup, cfg.Burst))
+	}
+	return &adversarial{
+		cfg:    cfg,
+		victim: Uniform(cfg.VictimLo, cfg.VictimHi),
+		decoy:  Uniform(cfg.DecoyLo, cfg.DecoyHi),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+func (a *adversarial) Name() string { return "adversarial-displacement" }
+func (a *adversarial) Columns() int { return 2 }
+func (a *adversarial) Next(q int, fb Feedback) Op {
+	if q < a.cfg.Warmup {
+		return Op{Kind: OpQuery, Column: 1, Key: a.decoy(a.rng)}
+	}
+	if len(fb.DisplacedEntries) > 1 && fb.DisplacedEntries[1] > a.seenDisplaced {
+		// Decoy partitions were just displaced (the victim's scan stole
+		// their space): re-miss them immediately. The rebuild displaces
+		// the victim's freshly built frontier right back.
+		a.seenDisplaced = fb.DisplacedEntries[1]
+		a.pendingBurst = a.cfg.Burst
+	}
+	if a.pendingBurst > 0 {
+		a.pendingBurst--
+		return Op{Kind: OpQuery, Column: 1, Key: a.decoy(a.rng)}
+	}
+	return Op{Kind: OpQuery, Column: 0, Key: a.victim(a.rng)}
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// collect replays n ops of a freshly built scenario, feeding it a
+// scripted displacement trajectory (fire(q) returns the cumulative
+// displaced-entries view before op q; nil means static zero feedback).
+func collect(s Scenario, n int, fire func(q int) []uint64) []Op {
+	ops := make([]Op, 0, n)
+	for q := 0; q < n; q++ {
+		fb := Feedback{}
+		if fire != nil {
+			fb.DisplacedEntries = fire(q)
+		}
+		ops = append(ops, s.Next(q, fb))
+	}
+	return ops
+}
+
+// TestScenarioGoldenReplay pins the repo seeding convention for every
+// scenario family: the same constructor parameters (and the same
+// feedback trajectory) must replay the op stream bit-identically.
+func TestScenarioGoldenReplay(t *testing.T) {
+	t.Parallel()
+	fire := func(q int) []uint64 {
+		// A scripted displacement trajectory for the reactive scenario:
+		// the decoy column loses entries at ops 20 and 40.
+		d := uint64(0)
+		if q >= 40 {
+			d = 2
+		} else if q >= 20 {
+			d = 1
+		}
+		return []uint64{0, d}
+	}
+	families := []struct {
+		name string
+		mk   func() Scenario
+		fire func(int) []uint64
+	}{
+		{"sequential-sweep", func() Scenario { return NewSequentialSweep(10, 99, 3) }, nil},
+		{"zipf-skew", func() Scenario { return NewZipfSkew(1.3, 100, 999, 7) }, nil},
+		{"periodic-shift", func() Scenario { return NewPeriodicShift(1, 50, 51, 100, 25, 7) }, nil},
+		{"dml-burst", func() Scenario { return NewDMLBurst(1, 200, 10, 4, 7) }, nil},
+		{"adversarial-displacement", func() Scenario {
+			return NewAdversarialDisplacement(AdversarialConfig{
+				VictimLo: 1, VictimHi: 100, DecoyLo: 101, DecoyHi: 200,
+				Warmup: 5, Burst: 3, Seed: 7,
+			})
+		}, fire},
+	}
+	seen := map[string]bool{}
+	for _, f := range families {
+		s := f.mk()
+		if s.Name() != f.name {
+			t.Errorf("scenario name %q, want %q", s.Name(), f.name)
+		}
+		seen[s.Name()] = true
+		a := collect(s, 80, f.fire)
+		b := collect(f.mk(), 80, f.fire)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed did not replay bit-identically", f.name)
+		}
+		for i, op := range a {
+			if op.Column < 0 || op.Column >= s.Columns() {
+				t.Fatalf("%s op %d: column %d outside [0, %d)", f.name, i, op.Column, s.Columns())
+			}
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("suite covers %d scenario families, want 5", len(seen))
+	}
+}
+
+// TestSequentialSweepLiteral pins the deterministic sweep literally —
+// it involves no RNG, so the exact stream is part of the contract.
+func TestSequentialSweepLiteral(t *testing.T) {
+	t.Parallel()
+	s := NewSequentialSweep(5, 11, 3)
+	want := []int64{5, 8, 11, 5, 8, 11}
+	for q, w := range want {
+		op := s.Next(q, Feedback{})
+		if op.Kind != OpQuery || op.Column != 0 || op.Key != w {
+			t.Fatalf("op %d = %+v, want query col 0 key %d", q, op, w)
+		}
+	}
+}
+
+// TestDMLBurstShape checks the query/insert/delete cadence and that
+// every op consumes exactly one draw (so the stream stays replayable
+// regardless of op kind).
+func TestDMLBurstShape(t *testing.T) {
+	t.Parallel()
+	s := NewDMLBurst(1, 100, 4, 2, 3)
+	kinds := make([]OpKind, 12)
+	for q := range kinds {
+		kinds[q] = s.Next(q, Feedback{}).Kind
+	}
+	want := []OpKind{OpQuery, OpQuery, OpQuery, OpQuery, OpInsert, OpDelete,
+		OpQuery, OpQuery, OpQuery, OpQuery, OpInsert, OpDelete}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("cadence = %v, want %v", kinds, want)
+	}
+}
+
+// TestAdversarialReactsToDisplacement drives the adversary with and
+// without displacement feedback: without it the post-warmup stream is
+// all victim queries; with it each displacement event triggers exactly
+// one burst of decoy queries.
+func TestAdversarialReactsToDisplacement(t *testing.T) {
+	t.Parallel()
+	mk := func() Scenario {
+		return NewAdversarialDisplacement(AdversarialConfig{
+			VictimLo: 1, VictimHi: 100, DecoyLo: 101, DecoyHi: 200,
+			Warmup: 4, Burst: 2, Seed: 11,
+		})
+	}
+	quiet := collect(mk(), 20, nil)
+	for q, op := range quiet {
+		wantCol := 0
+		if q < 4 {
+			wantCol = 1
+		}
+		if op.Column != wantCol {
+			t.Fatalf("quiet op %d on column %d, want %d", q, op.Column, wantCol)
+		}
+	}
+	// One displacement of the decoy before op 10: ops 10 and 11 attack.
+	attacked := collect(mk(), 20, func(q int) []uint64 {
+		if q >= 10 {
+			return []uint64{0, 5}
+		}
+		return []uint64{0, 0}
+	})
+	for q := 10; q < 12; q++ {
+		if attacked[q].Column != 1 {
+			t.Errorf("op %d: column %d, want decoy attack", q, attacked[q].Column)
+		}
+	}
+	if attacked[12].Column != 0 {
+		t.Errorf("burst did not end: op 12 on column %d", attacked[12].Column)
+	}
+}
+
+// --- Edge cases the robustness issue calls out ---------------------------
+
+// TestZipfDegenerateDomain pins the n <= 1 guard: uint64(n-1) would
+// underflow and draw values far outside [1, n].
+func TestZipfDegenerateDomain(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int64{-3, 0, 1} {
+		draw := Zipf(1.5, n, 2)
+		for i := 0; i < 50; i++ {
+			if v := draw(rng); v != 1 {
+				t.Fatalf("Zipf(n=%d) drew %d, want constant 1", n, v)
+			}
+		}
+	}
+}
+
+// TestShiftingRangeBoundaries checks the exact start/end query numbers:
+// q == start is the first shifting query (fraction 0, still range 1)
+// and q == end is fully shifted (fraction 1, range 2).
+func TestShiftingRangeBoundaries(t *testing.T) {
+	t.Parallel()
+	f := ShiftingRange(1, 10, 101, 110, 50, 60)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		if v := f(50, rng); v < 1 || v > 10 {
+			t.Fatalf("q=start drew %d, want range 1 [1, 10]", v)
+		}
+		if v := f(60, rng); v < 101 || v > 110 {
+			t.Fatalf("q=end drew %d, want range 2 [101, 110]", v)
+		}
+		if v := f(49, rng); v < 1 || v > 10 {
+			t.Fatalf("q=start-1 drew %d, want range 1", v)
+		}
+		if v := f(61, rng); v < 101 || v > 110 {
+			t.Fatalf("q=end+1 drew %d, want range 2", v)
+		}
+	}
+}
+
+// TestMixPickEdgeCases: zero-weight entries are never picked, and a
+// single-entry mix always returns index 0.
+func TestMixPickEdgeCases(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(9))
+	m := MustMix(0, 1, 0)
+	for i := 0; i < 1000; i++ {
+		if got := m.Pick(rng); got != 1 {
+			t.Fatalf("zero-weight column picked: %d", got)
+		}
+	}
+	single := MustMix(2.5)
+	if single.Columns() != 1 {
+		t.Fatalf("single-entry columns = %d", single.Columns())
+	}
+	for i := 0; i < 100; i++ {
+		if got := single.Pick(rng); got != 0 {
+			t.Fatalf("single-entry mix picked %d", got)
+		}
+	}
+}
+
+// TestOpKindString covers the op vocabulary.
+func TestOpKindString(t *testing.T) {
+	t.Parallel()
+	want := map[OpKind]string{OpQuery: "query", OpInsert: "insert", OpDelete: "delete", OpKind(9): "unknown"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("OpKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

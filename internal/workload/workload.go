@@ -109,7 +109,13 @@ func WithHitRate(p float64, covered, uncovered Draw) Draw {
 
 // Zipf draws zipf-distributed values over [1, n] with the given skew
 // (s > 1); an extension generator for skewed-workload ablations.
+// A degenerate domain (n <= 1) always draws 1 — rand.NewZipf's imax is
+// unsigned, so uint64(n-1) would otherwise underflow for n <= 0 and
+// produce values far outside the domain.
 func Zipf(s float64, n int64, seed int64) Draw {
+	if n <= 1 {
+		return func(*rand.Rand) int64 { return 1 }
+	}
 	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(n-1))
 	return func(*rand.Rand) int64 { return 1 + int64(z.Uint64()) }
 }
