@@ -52,6 +52,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/timeline"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Options configures a database. The zero value gives the paper's
@@ -110,6 +111,12 @@ type Options struct {
 	// takes a real device's shape. Ignored for DataDir-backed tables.
 	ReadLatency  time.Duration
 	WriteLatency time.Duration
+	// WAL configures crash-consistent durability for DataDir-backed
+	// databases: every acknowledged DML is written ahead to a log, and
+	// OpenExisting replays it so a crash — process kill, power cut —
+	// loses nothing that was acknowledged. The zero value enables the
+	// log with group commit. Ignored for in-memory databases.
+	WAL WALOptions
 	// Tenants declares the database's budget domains: each tenant's
 	// Index Buffers compete within the tenant's entry quota before the
 	// global pool, and an over-quota tenant's misses degrade to
@@ -118,6 +125,63 @@ type Options struct {
 	// through a tenant Session are visible to that tenant only. More
 	// tenants can be added later with CreateTenant.
 	Tenants []Tenant
+}
+
+// WALOptions configures the write-ahead log (Options.WAL).
+type WALOptions struct {
+	// Disable turns the WAL off, reverting to snapshot-only persistence:
+	// only Save/Close write durable state, and anything after the last
+	// Save is lost on a crash.
+	Disable bool
+	// Sync selects the commit durability protocol; the zero value is
+	// SyncBatch (group commit).
+	Sync SyncPolicy
+	// SegmentBytes overrides the log segment rotation threshold
+	// (default 4 MiB).
+	SegmentBytes int
+	// SyncDelay charges every log fsync with an extra sleep — the same
+	// simulated-device convention as Options.WriteLatency — so
+	// group-commit experiments keep a real device's shape on fast
+	// filesystems.
+	SyncDelay time.Duration
+	// CheckpointEvery, when positive, runs a background checkpoint at
+	// this period, bounding both recovery time and log size. Zero means
+	// checkpoints happen only on DDL, Save, Close, and Checkpoint calls.
+	CheckpointEvery time.Duration
+	// DisableQueryLog stops logging query descriptors. They are never
+	// needed for redo correctness — they only feed Rewarm's
+	// post-recovery buffer warm-up — so this trades restart warmth for
+	// log volume.
+	DisableQueryLog bool
+}
+
+// SyncPolicy selects when a committed DML operation's log record is
+// forced to disk (WALOptions.Sync).
+type SyncPolicy int
+
+const (
+	// SyncBatch is group commit, the default: commits wait for
+	// durability, but one fsync covers every record appended while the
+	// previous fsync was in flight. Durability of SyncAlways at a
+	// fraction of the fsyncs under concurrency.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs on every commit.
+	SyncAlways
+	// SyncNever lets commits return without forcing the log; a crash
+	// can lose the unforced tail (but never corrupts).
+	SyncNever
+)
+
+// policy maps the enum to the wal package's policy.
+func (s SyncPolicy) policy() wal.SyncPolicy {
+	switch s {
+	case SyncAlways:
+		return wal.SyncAlways
+	case SyncNever:
+		return wal.SyncNever
+	default:
+		return wal.SyncBatch
+	}
 }
 
 // Tenant declares one budget domain for Options.Tenants / CreateTenant.
@@ -198,9 +262,13 @@ type DB struct {
 	sink *timeline.Sink
 }
 
-// OpenExisting reopens a database previously persisted with Save into
-// o.DataDir: tables and partial indexes are restored; Index Buffers
-// start fresh.
+// OpenExisting reopens a database previously persisted into o.DataDir.
+// With the WAL enabled (the default) this runs crash recovery: torn
+// page and log tails are repaired, and every acknowledged operation
+// since the last checkpoint is replayed from the log — even after an
+// unclean shutdown. Tables and partial indexes are restored; Index
+// Buffers start fresh (use Rewarm to warm them from the recovered
+// query tail). RecoveryStats reports what recovery did.
 func OpenExisting(o Options) (*DB, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
@@ -272,6 +340,19 @@ func (o Options) validate() error {
 	default:
 		return fmt.Errorf("repro: unknown Options.Selection %d", o.Selection)
 	}
+	switch o.WAL.Sync {
+	case SyncBatch, SyncAlways, SyncNever:
+	default:
+		return fmt.Errorf("repro: unknown Options.WAL.Sync %d", o.WAL.Sync)
+	}
+	switch {
+	case o.WAL.SegmentBytes < 0:
+		return fmt.Errorf("repro: Options.WAL.SegmentBytes %d is negative", o.WAL.SegmentBytes)
+	case o.WAL.SyncDelay < 0:
+		return fmt.Errorf("repro: Options.WAL.SyncDelay %v is negative", o.WAL.SyncDelay)
+	case o.WAL.CheckpointEvery < 0:
+		return fmt.Errorf("repro: Options.WAL.CheckpointEvery %v is negative", o.WAL.CheckpointEvery)
+	}
 	seen := make(map[string]bool, len(o.Tenants))
 	for _, tn := range o.Tenants {
 		switch {
@@ -306,6 +387,14 @@ func engineConfig(o Options) engine.Config {
 			Seed:               o.Seed,
 		},
 		DisableIndexBuffer: o.DisableIndexBuffer,
+		WAL: engine.WALConfig{
+			Disable:         o.WAL.Disable,
+			SyncPolicy:      o.WAL.Sync.policy(),
+			SegmentBytes:    o.WAL.SegmentBytes,
+			SyncDelay:       o.WAL.SyncDelay,
+			CheckpointEvery: o.WAL.CheckpointEvery,
+			DisableQueryLog: o.WAL.DisableQueryLog,
+		},
 	}
 	return cfg
 }
@@ -801,7 +890,40 @@ func (db *DB) TelemetryStats() TelemetryStats {
 func (db *DB) Close() error { return db.eng.Close() }
 
 // Save persists the database's catalog and flushes all pages. It
-// requires a DataDir-backed database. Index Buffers are never persisted
-// — they are volatile scratch-pad structures (paper §III) and start
-// empty after OpenExisting.
+// requires a DataDir-backed database. With the WAL enabled (the
+// default) Save is a checkpoint — see Checkpoint. Index Buffers are
+// never persisted — they are volatile scratch-pad structures (paper
+// §III) and start empty after OpenExisting.
 func (db *DB) Save() error { return db.eng.Save() }
+
+// Checkpoint flushes every table's dirty pages, writes a catalog
+// consistent with them, and truncates the write-ahead log behind the
+// checkpoint. Queries are not blocked while it runs. It requires a
+// WAL-backed database (DataDir set, WAL not disabled).
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// RecoveryStats describes what OpenExisting's recovery pass did: the
+// checkpoint position redo started from, records and page images
+// replayed, torn bytes repaired, surplus pages truncated, and the
+// query-tail length recovered for Rewarm. See engine.RecoveryStats.
+type RecoveryStats = engine.RecoveryStats
+
+// RecoveryStats returns what the OpenExisting that produced this
+// database did during recovery; zero for databases created with Open.
+func (db *DB) RecoveryStats() RecoveryStats { return db.eng.RecoveryStats() }
+
+// WALStats reports write-ahead-log counters — appends, commits, fsyncs,
+// bytes, segments — or zeros when the WAL is off. The Commits/Syncs
+// ratio is the group-commit batching factor.
+type WALStats = wal.Stats
+
+// WALStats reads the log writer's counters.
+func (db *DB) WALStats() WALStats { return db.eng.WALStats() }
+
+// Rewarm replays the query tail recovered from the log through the
+// normal query path, so the volatile Index Buffers converge back toward
+// their pre-crash state without waiting for live traffic. Call it once
+// after OpenExisting (enable the timeline first to record the restart
+// as a fresh convergence episode); the tail is consumed. Returns the
+// number of queries replayed.
+func (db *DB) Rewarm(ctx context.Context) (int, error) { return db.eng.Rewarm(ctx) }

@@ -714,3 +714,29 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGroupCommit measures the WAL sync-policy arms under
+// concurrent writers (one table per writer, simulated fsync latency):
+// the batch arm's higher ops/sec and batch_factor > 1 are the
+// group-commit win; the suite's acceptance gate holds the ratio to
+// ≥ 2x (see internal/bench.DurabilityResult.Check).
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, arm := range []string{"fsync-per-commit", "group-commit"} {
+		b.Run(arm, func(b *testing.B) {
+			var ops, factor float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunDurability(bench.Options{Queries: 40})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, a := range r.Arms {
+					if a.Arm == arm {
+						ops, factor = a.OpsPerSec, a.BatchFactor
+					}
+				}
+			}
+			b.ReportMetric(ops, "ops/sec")
+			b.ReportMetric(factor, "batch_factor")
+		})
+	}
+}

@@ -39,8 +39,9 @@ func main() {
 		telemetry  = flag.String("telemetry", "", "stream structured telemetry (spans + timeline samples) as JSONL to this file")
 		verify     = flag.String("verify-telemetry", "", "validate a telemetry JSONL file and exit (no experiments run)")
 		robustness = flag.Bool("robustness", false, "run the workload-robustness scenario suite instead of figures")
-		out        = flag.String("out", "", "robustness: write the result matrix as JSON to this file")
-		baseline   = flag.String("baseline", "", "robustness: compare against this committed baseline JSON and fail on regression")
+		durability = flag.Bool("durability", false, "run the group-commit durability benchmark instead of figures")
+		out        = flag.String("out", "", "robustness/durability: write the result as JSON to this file")
+		baseline   = flag.String("baseline", "", "robustness/durability: compare against this committed baseline JSON and fail on regression")
 	)
 	flag.Parse()
 
@@ -67,6 +68,20 @@ func main() {
 		})
 		if err := runRobustness(o, *out, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "aibench: robustness:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *durability {
+		o := bench.Options{Seed: *seed}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "queries" {
+				o.Queries = *queries
+			}
+		})
+		if err := runDurability(o, *out, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "aibench: durability:", err)
 			os.Exit(1)
 		}
 		return
@@ -200,6 +215,56 @@ func runRobustness(o bench.Options, out, baseline string) error {
 			return err
 		}
 		var base bench.RobustnessResult
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", baseline, err)
+		}
+		if regs := r.CompareBaseline(&base); len(regs) > 0 {
+			for _, reg := range regs {
+				fmt.Fprintln(os.Stderr, "regression:", reg)
+			}
+			return fmt.Errorf("%d regression(s) vs baseline %s", len(regs), baseline)
+		}
+		fmt.Printf("baseline %s: no regressions\n", baseline)
+	}
+	return nil
+}
+
+// runDurability measures the group-commit arms, prints them, enforces
+// the 2x speedup criterion, and optionally writes the JSON artifact and
+// diffs it against a committed baseline.
+func runDurability(o bench.Options, out, baseline string) error {
+	r, err := bench.RunDurability(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Group-commit durability: %d writers x %d commits, %dus simulated fsync ==\n",
+		r.Workers, r.OpsPerWorker, r.SyncDelayMicros)
+	for _, a := range r.Arms {
+		fmt.Printf("  %-18s %8.0f ops/sec  (%d commits, %d fsyncs, batch factor %.2f)\n",
+			a.Arm, a.OpsPerSec, a.Commits, a.Syncs, a.BatchFactor)
+	}
+	fmt.Printf("group-commit speedup: %.2fx\n\n", r.BatchSpeedup)
+
+	if out != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("durability result -> %s\n", out)
+	}
+	if err := r.Check(); err != nil {
+		return err
+	}
+	fmt.Println("durability criterion: ok (group commit >= 2x fsync-per-commit)")
+	if baseline != "" {
+		data, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		var base bench.DurabilityResult
 		if err := json.Unmarshal(data, &base); err != nil {
 			return fmt.Errorf("baseline %s: %w", baseline, err)
 		}

@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+// TestDurabilitySpeedup runs the benchmark at a reduced size and holds
+// it to the acceptance criterion: group commit ≥ 2× fsync-per-commit.
+func TestDurabilitySpeedup(t *testing.T) {
+	r, err := RunDurability(Options{Queries: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("%v (result: %+v)", err, r)
+	}
+	t.Logf("speedup %.2fx, batch factor %.2f", r.BatchSpeedup, r.arm("group-commit").BatchFactor)
+}
+
+// TestDurabilityCompareBaseline covers the gate's regression arms.
+func TestDurabilityCompareBaseline(t *testing.T) {
+	base := &DurabilityResult{
+		BatchSpeedup: 3.0,
+		Arms: []DurabilityArmResult{
+			{Arm: "fsync-per-commit", BatchFactor: 1.0},
+			{Arm: "group-commit", BatchFactor: 3.5},
+		},
+	}
+	good := &DurabilityResult{
+		BatchSpeedup: 2.8,
+		Arms: []DurabilityArmResult{
+			{Arm: "fsync-per-commit", BatchFactor: 1.0},
+			{Arm: "group-commit", BatchFactor: 3.0},
+		},
+	}
+	if msgs := good.CompareBaseline(base); len(msgs) != 0 {
+		t.Fatalf("good run flagged: %v", msgs)
+	}
+	bad := &DurabilityResult{
+		BatchSpeedup: 1.2,
+		Arms: []DurabilityArmResult{
+			{Arm: "fsync-per-commit", BatchFactor: 1.0},
+			{Arm: "group-commit", BatchFactor: 1.1},
+		},
+	}
+	if msgs := bad.CompareBaseline(base); len(msgs) == 0 {
+		t.Fatal("regressed run passed the gate")
+	}
+	if msgs := good.CompareBaseline(nil); len(msgs) == 0 {
+		t.Fatal("missing baseline passed the gate")
+	}
+}

@@ -3,56 +3,7 @@ package buffer
 import (
 	"errors"
 	"testing"
-
-	"repro/internal/storage"
 )
-
-// faultStore wraps a Store, failing operations after a countdown —
-// deterministic fault injection for error-path coverage.
-type faultStore struct {
-	inner      Store
-	readsLeft  int // fail Reads once this many have succeeded; -1 = never
-	writesLeft int
-	allocsLeft int
-}
-
-var errInjected = errors.New("injected fault")
-
-func newFaultStore(inner Store) *faultStore {
-	return &faultStore{inner: inner, readsLeft: -1, writesLeft: -1, allocsLeft: -1}
-}
-
-func (f *faultStore) Read(id storage.PageID, buf []byte) error {
-	if f.readsLeft == 0 {
-		return errInjected
-	}
-	if f.readsLeft > 0 {
-		f.readsLeft--
-	}
-	return f.inner.Read(id, buf)
-}
-
-func (f *faultStore) Write(id storage.PageID, buf []byte) error {
-	if f.writesLeft == 0 {
-		return errInjected
-	}
-	if f.writesLeft > 0 {
-		f.writesLeft--
-	}
-	return f.inner.Write(id, buf)
-}
-
-func (f *faultStore) Allocate() (storage.PageID, error) {
-	if f.allocsLeft == 0 {
-		return storage.InvalidPageID, errInjected
-	}
-	if f.allocsLeft > 0 {
-		f.allocsLeft--
-	}
-	return f.inner.Allocate()
-}
-
-func (f *faultStore) NumPages() int { return f.inner.NumPages() }
 
 func TestPoolSurfacesReadFault(t *testing.T) {
 	d := NewSimDisk()
@@ -61,8 +12,8 @@ func TestPoolSurfacesReadFault(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	fs := newFaultStore(d)
-	fs.readsLeft = 1
+	fs := NewFaultStore(d)
+	fs.SetReadsLeft(1)
 	p, err := NewPool(fs, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +23,7 @@ func TestPoolSurfacesReadFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Unpin(f0)
-	if _, err := p.Fetch(1); !errors.Is(err, errInjected) {
+	if _, err := p.Fetch(1); !errors.Is(err, ErrInjected) {
 		t.Errorf("fetch after fault = %v, want injected error", err)
 	}
 	// The pool stays usable for resident pages.
@@ -90,8 +41,8 @@ func TestPoolSurfacesWritebackFault(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	fs := newFaultStore(d)
-	fs.writesLeft = 0
+	fs := NewFaultStore(d)
+	fs.SetWritesLeft(0)
 	p, err := NewPool(fs, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -103,23 +54,23 @@ func TestPoolSurfacesWritebackFault(t *testing.T) {
 	f0.MarkDirty()
 	p.Unpin(f0)
 	// Evicting the dirty page hits the write fault.
-	if _, err := p.Fetch(1); !errors.Is(err, errInjected) {
+	if _, err := p.Fetch(1); !errors.Is(err, ErrInjected) {
 		t.Errorf("eviction writeback fault = %v", err)
 	}
 	// FlushAll reports it too.
-	if err := p.FlushAll(); !errors.Is(err, errInjected) {
+	if err := p.FlushAll(); !errors.Is(err, ErrInjected) {
 		t.Errorf("FlushAll fault = %v", err)
 	}
 }
 
 func TestPoolSurfacesAllocateFault(t *testing.T) {
-	fs := newFaultStore(NewSimDisk())
-	fs.allocsLeft = 0
+	fs := NewFaultStore(NewSimDisk())
+	fs.SetAllocsLeft(0)
 	p, err := NewPool(fs, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Allocate(); !errors.Is(err, errInjected) {
+	if _, err := p.Allocate(); !errors.Is(err, ErrInjected) {
 		t.Errorf("allocate fault = %v", err)
 	}
 }

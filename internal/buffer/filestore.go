@@ -130,3 +130,51 @@ func (s *FileStore) Sync() error {
 	defer s.mu.Unlock()
 	return s.f.Sync()
 }
+
+// Truncate shrinks the file to exactly pages pages. Recovery uses it to
+// drop heap pages past the catalog's checkpointed extent — an append
+// that made it to disk but never to a durable checkpoint or log record.
+func (s *FileStore) Truncate(pages int) error {
+	if pages < 0 {
+		return fmt.Errorf("buffer: truncate to %d pages", pages)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pages > s.pages {
+		return fmt.Errorf("buffer: truncate to %d pages, file has only %d", pages, s.pages)
+	}
+	if err := s.f.Truncate(int64(pages) * PageSize); err != nil {
+		return fmt.Errorf("buffer: truncate file store: %w", err)
+	}
+	s.pages = pages
+	return nil
+}
+
+// RecoverFileStore opens a page file that may have a torn tail from a
+// crash mid-append: a size that is not a page multiple is floored to
+// the last whole page (the partial page was never acknowledged), and
+// the number of bytes dropped is returned. A clean file recovers with
+// zero truncated bytes.
+func RecoverFileStore(path string) (*FileStore, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("buffer: reopen file store: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("buffer: stat file store: %w", err)
+	}
+	torn := fi.Size() % PageSize
+	if torn != 0 {
+		if err := f.Truncate(fi.Size() - torn); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("buffer: repair torn page tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("buffer: repair torn page tail: %w", err)
+		}
+	}
+	return &FileStore{f: f, pages: int((fi.Size() - torn) / PageSize)}, torn, nil
+}

@@ -1,0 +1,145 @@
+package buffer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestFileStoreTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pages")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buf := make([]byte, PageSize)
+	for i := 0; i < 4; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := s.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Truncate(5); err == nil {
+		t.Error("growing Truncate should fail")
+	}
+	if err := s.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", s.NumPages())
+	}
+	if err := s.Read(storage.PageID(2), buf); err == nil {
+		t.Error("read past truncation point should fail")
+	}
+	if err := s.Read(storage.PageID(1), buf); err != nil || buf[0] != 1 {
+		t.Fatalf("surviving page: err=%v buf[0]=%d", err, buf[0])
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 2*PageSize {
+		t.Fatalf("file size = %d, want %d", fi.Size(), 2*PageSize)
+	}
+}
+
+func TestRecoverFileStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pages")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 3; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := s.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a page of garbage at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, PageSize/2)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The strict opener refuses the torn file.
+	if _, err := OpenFileStoreExisting(path); err == nil {
+		t.Error("OpenFileStoreExisting should reject a torn file")
+	}
+
+	r, torn, err := RecoverFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if torn != PageSize/2 {
+		t.Fatalf("torn = %d, want %d", torn, PageSize/2)
+	}
+	if r.NumPages() != 3 {
+		t.Fatalf("NumPages = %d, want 3", r.NumPages())
+	}
+	if err := r.Read(storage.PageID(2), buf); err != nil || buf[0] != 2 {
+		t.Fatalf("page 2 after repair: err=%v buf[0]=%d", err, buf[0])
+	}
+
+	// A clean file recovers losslessly.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, torn2, err := RecoverFileStore(path)
+	if err != nil || torn2 != 0 || r2.NumPages() != 3 {
+		t.Fatalf("clean recover: torn=%d pages=%d err=%v", torn2, r2.NumPages(), err)
+	}
+	r2.Close()
+}
+
+func TestPoolDirtyCount(t *testing.T) {
+	d := NewSimDisk()
+	for i := 0; i < 3; i++ {
+		if _, err := d.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPool(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DirtyCount() != 0 {
+		t.Fatalf("fresh pool DirtyCount = %d", p.DirtyCount())
+	}
+	for i := 0; i < 2; i++ {
+		f, err := p.Fetch(storage.PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.MarkDirty()
+		p.Unpin(f)
+	}
+	if p.DirtyCount() != 2 {
+		t.Fatalf("DirtyCount = %d, want 2", p.DirtyCount())
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if p.DirtyCount() != 0 {
+		t.Fatalf("DirtyCount after flush = %d", p.DirtyCount())
+	}
+}

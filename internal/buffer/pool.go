@@ -217,6 +217,21 @@ func (p *Pool) FlushAll() error {
 	return nil
 }
 
+// DirtyCount returns the number of resident frames with unflushed
+// modifications. The checkpointer uses it to decide whether a flush
+// pass would do any work.
+func (p *Pool) DirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.dirty {
+			n++
+		}
+	}
+	return n
+}
+
 // Resident returns the number of pages currently held in memory.
 func (p *Pool) Resident() int {
 	p.mu.Lock()

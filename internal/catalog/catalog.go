@@ -24,6 +24,12 @@ const FileName = "catalog.json"
 type Catalog struct {
 	FormatVersion int         `json:"format_version"`
 	Tables        []TableMeta `json:"tables"`
+
+	// CheckpointLSN is the WAL position this catalog is consistent with:
+	// every logged change at or below it has reached the page files, so
+	// recovery redoes only records above it. Zero means "no WAL" (a
+	// snapshot-only save) and replays the whole log if one exists.
+	CheckpointLSN uint64 `json:"checkpoint_lsn,omitempty"`
 }
 
 // TableMeta describes one table.
@@ -211,7 +217,13 @@ func (m CoverageMeta) DecodeCoverage() (index.Coverage, error) {
 	}
 }
 
-// Save writes the catalog to dir atomically (write-temp-then-rename).
+// Save writes the catalog to dir atomically and durably: the temp file
+// is fsynced before the rename and the directory is fsynced after, so a
+// crash at any point surfaces either the complete old catalog or the
+// complete new one — never an empty or torn file. (A rename alone
+// reorders freely against the data blocks it points at; without the
+// fsyncs a crash right after the rename could surface a zero-length
+// catalog.)
 func Save(dir string, c Catalog) error {
 	c.FormatVersion = 1
 	data, err := json.MarshalIndent(c, "", "  ")
@@ -219,13 +231,48 @@ func Save(dir string, c Catalog) error {
 		return fmt.Errorf("catalog: marshal: %w", err)
 	}
 	tmp := filepath.Join(dir, FileName+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("catalog: write: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, FileName)); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("catalog: rename: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("catalog: sync dir: %w", err)
+	}
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load reads the catalog from dir.

@@ -146,3 +146,62 @@ func TestLoadErrors(t *testing.T) {
 		t.Error("future format version should fail")
 	}
 }
+
+func TestCheckpointLSNRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := Catalog{
+		Tables:        []TableMeta{{Name: "t", Columns: []ColumnMeta{{Name: "id", Kind: "int64"}}}},
+		CheckpointLSN: 1234,
+	}
+	if err := Save(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CheckpointLSN != 1234 {
+		t.Fatalf("CheckpointLSN = %d, want 1234", got.CheckpointLSN)
+	}
+}
+
+// TestSaveFailureKeepsOldCatalog injects a write fault (the tmp path is
+// occupied by a directory, so the create fails) and asserts the
+// previous catalog survives untouched and no tmp file is left behind.
+func TestSaveFailureKeepsOldCatalog(t *testing.T) {
+	dir := t.TempDir()
+	old := Catalog{Tables: []TableMeta{{Name: "old"}}, CheckpointLSN: 7}
+	if err := Save(dir, old); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, FileName+".tmp")
+	if err := os.Mkdir(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dir, Catalog{Tables: []TableMeta{{Name: "new"}}}); err == nil {
+		t.Fatal("Save over an unwritable tmp path should fail")
+	}
+	os.Remove(tmp)
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 1 || got.Tables[0].Name != "old" || got.CheckpointLSN != 7 {
+		t.Fatalf("old catalog damaged by failed save: %+v", got)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("tmp file left behind after failed save: %v", err)
+	}
+}
+
+// TestSaveLeavesNoTmp asserts the durable save path cleans up its
+// intermediate file.
+func TestSaveLeavesNoTmp(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, Catalog{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName+".tmp")); !os.IsNotExist(err) {
+		t.Errorf("tmp file present after successful save: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/timeline"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Config configures a new engine.
@@ -85,6 +86,15 @@ type Config struct {
 	// convergence detector watches for (queries-to-target). Zero means
 	// timeline.DefaultTarget (0.95).
 	ConvergenceTarget float64
+
+	// WAL configures crash-consistent durability for DataDir-backed
+	// engines; see WALConfig. Ignored without a DataDir.
+	WAL WALConfig
+
+	// wrapStore, when set, wraps every table's page store as it is
+	// created or reopened — the crash-test hook for interposing a
+	// buffer.FaultStore. The string is the table name.
+	wrapStore func(string, pageStore) pageStore
 }
 
 const defaultPoolPages = 256
@@ -101,6 +111,18 @@ type Engine struct {
 
 	sharedScans   metrics.SharedScanCounters
 	parallelScans metrics.ParallelScanCounters
+
+	// Durability (nil / zero for in-memory or WAL-disabled engines).
+	wal      *wal.Writer
+	walErr   error         // WAL failed to initialize; DML refuses
+	ckptMu   sync.Mutex    // serializes checkpoints
+	lastCkpt atomic.Uint64 // LSN of the last completed checkpoint
+	ckptStop chan struct{} // periodic checkpointer lifecycle
+	ckptDone chan struct{}
+
+	rewarmMu sync.Mutex
+	rewarm   []rewarmQuery // recovered query tail, consumed by Rewarm
+	recovery RecoveryStats
 }
 
 // ParallelScanStats reads the engine-wide parallel-scan counters: how
@@ -129,8 +151,31 @@ func (e *Engine) SharedScanStats() metrics.SharedScanStats {
 // traceCapacity is the query-event ring size of the built-in tracer.
 const traceCapacity = 512
 
-// New creates an empty engine.
+// New creates an empty engine. With a DataDir and the WAL enabled (the
+// default), a fresh log is initialized under <DataDir>/wal — any
+// existing segments there are cleared, mirroring how table page files
+// are truncated on creation. A WAL that fails to initialize does not
+// fail New (its signature predates durability); instead the engine
+// refuses DML with the initialization error, so nothing runs silently
+// non-durable.
 func New(cfg Config) *Engine {
+	e := newEngine(cfg)
+	if cfg.DataDir != "" && !cfg.WAL.Disable {
+		w, err := wal.Create(walDir(cfg.DataDir), walOptions(cfg))
+		if err != nil {
+			e.walErr = err
+		} else {
+			e.wal = w
+			e.startCheckpointer()
+		}
+	}
+	return e
+}
+
+// newEngine builds the engine skeleton shared by New and Load; it never
+// touches the WAL directory (Load must replay it before a writer may
+// start a new segment).
+func newEngine(cfg Config) *Engine {
 	if cfg.PoolPages <= 0 {
 		cfg.PoolPages = defaultPoolPages
 	}
@@ -215,14 +260,20 @@ func (e *Engine) checkOpen() error {
 // Close flushes every table's buffer pool and closes file-backed stores.
 // Subsequent operations fail with ErrClosed. Close waits for in-flight
 // operations by taking every table's exclusive lock; it is a no-op for
-// the stores of purely in-memory engines.
+// the stores of purely in-memory engines. WAL-backed engines take a
+// final checkpoint first, so a clean shutdown leaves an empty log and
+// the next Load has no redo work.
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil // already closed
 	}
+	var first error
+	if e.wal != nil {
+		e.stopCheckpointer()
+		first = e.checkpoint()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var first error
 	for _, t := range e.tables {
 		t.mu.Lock()
 		if err := t.pool.FlushAll(); err != nil && first == nil {
@@ -234,6 +285,11 @@ func (e *Engine) Close() error {
 			}
 		}
 		t.mu.Unlock()
+	}
+	if e.wal != nil {
+		if err := e.wal.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	return first
 }
@@ -270,8 +326,18 @@ type Table struct {
 }
 
 // CreateTable registers a new empty table under the default tenant.
+// On WAL-backed engines every DDL statement ends with a synchronous
+// checkpoint, so the log never carries schema changes — recovery
+// replays DML against a catalog that already reflects all DDL.
 func (e *Engine) CreateTable(name string, schema *storage.Schema) (*Table, error) {
-	return e.createTable(nil, name, schema)
+	t, err := e.createTable(nil, name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.checkpointIfWAL(); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint after creating %s: %w", name, err)
+	}
+	return t, nil
 }
 
 // createTable registers a table under its qualified catalog name; tn is
@@ -298,6 +364,9 @@ func (e *Engine) createTable(tn *core.Tenant, name string, schema *storage.Schem
 			sd.SetLatency(e.cfg.ReadLatency, e.cfg.WriteLatency)
 		}
 		store = sd
+	}
+	if e.cfg.wrapStore != nil {
+		store = e.cfg.wrapStore(name, store)
 	}
 	pool, err := buffer.NewPool(store, e.cfg.PoolPages)
 	if err != nil {
@@ -395,8 +464,19 @@ func (t *Table) bufferName(column int) string {
 // given coverage, scanning the table once. Unless the engine disables
 // Index Buffers, it also creates the column's Index Buffer and
 // initializes the page counters — "the number of tuples in the page minus
-// the tuples covered by the partial index" (paper §III).
+// the tuples covered by the partial index" (paper §III). Like all DDL
+// it ends with a checkpoint on WAL-backed engines.
 func (t *Table) CreatePartialIndex(column int, cov index.Coverage) error {
+	if err := t.createPartialIndex(column, cov); err != nil {
+		return err
+	}
+	if err := t.engine.checkpointIfWAL(); err != nil {
+		return fmt.Errorf("engine: checkpoint after indexing %s: %w", t.name, err)
+	}
+	return nil
+}
+
+func (t *Table) createPartialIndex(column int, cov index.Coverage) error {
 	if err := t.engine.checkOpen(); err != nil {
 		return err
 	}
@@ -435,6 +515,16 @@ func (t *Table) CreatePartialIndex(column int, cov index.Coverage) error {
 // DropIndex removes the column's partial index and its Index Buffer,
 // releasing the buffer's Index Buffer Space.
 func (t *Table) DropIndex(column int) error {
+	if err := t.dropIndex(column); err != nil {
+		return err
+	}
+	if err := t.engine.checkpointIfWAL(); err != nil {
+		return fmt.Errorf("engine: checkpoint after dropping index on %s: %w", t.name, err)
+	}
+	return nil
+}
+
+func (t *Table) dropIndex(column int) error {
 	if err := t.engine.checkOpen(); err != nil {
 		return err
 	}
@@ -456,6 +546,16 @@ func (t *Table) DropIndex(column int) error {
 // recreated with counters matching the new coverage, since its contents
 // were defined relative to the old predicate.
 func (t *Table) RedefineIndex(column int, cov index.Coverage) error {
+	if err := t.redefineIndex(column, cov); err != nil {
+		return err
+	}
+	if err := t.engine.checkpointIfWAL(); err != nil {
+		return fmt.Errorf("engine: checkpoint after redefining index on %s: %w", t.name, err)
+	}
+	return nil
+}
+
+func (t *Table) redefineIndex(column int, cov index.Coverage) error {
 	if err := t.engine.checkOpen(); err != nil {
 		return err
 	}
@@ -490,9 +590,15 @@ func (t *Table) RedefineIndex(column int, cov index.Coverage) error {
 	return nil
 }
 
-// Insert adds a tuple, maintaining every index and Index Buffer.
+// Insert adds a tuple, maintaining every index and Index Buffer. On
+// WAL-backed engines the operation is durable when Insert returns (per
+// the sync policy): the record carries the dirtied page's full image,
+// and Commit blocks until the log reaches stable storage.
 func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
 	if err := t.engine.checkOpen(); err != nil {
+		return storage.InvalidRID, err
+	}
+	if err := t.engine.walError(); err != nil {
 		return storage.InvalidRID, err
 	}
 	t.mu.Lock()
@@ -511,6 +617,12 @@ func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
 			b.MaintainInsert(v, rid, inIX)
 		}
 	}
+	// The dirtied page is still resident (nothing fetched since the heap
+	// write), so the image capture is a pool hit; see wal.go for why the
+	// record must precede any eviction of that page.
+	if err := t.logDML(wal.KindInsert, rid, storage.InvalidRID, rid.Page); err != nil {
+		return rid, err
+	}
 	return rid, nil
 }
 
@@ -522,8 +634,12 @@ func (t *Table) Get(rid storage.RID) (storage.Tuple, error) {
 }
 
 // Delete removes the tuple at rid, maintaining indexes and buffers.
+// Durable on return for WAL-backed engines, like Insert.
 func (t *Table) Delete(rid storage.RID) error {
 	if err := t.engine.checkOpen(); err != nil {
+		return err
+	}
+	if err := t.engine.walError(); err != nil {
 		return err
 	}
 	t.mu.Lock()
@@ -545,13 +661,17 @@ func (t *Table) Delete(rid storage.RID) error {
 			b.MaintainDelete(v, rid, wasInIX)
 		}
 	}
-	return nil
+	return t.logDML(wal.KindDelete, rid, storage.InvalidRID, rid.Page)
 }
 
 // Update replaces the tuple at rid, returning the possibly relocated RID
-// and maintaining indexes and buffers per the paper's Table I.
+// and maintaining indexes and buffers per the paper's Table I. Durable
+// on return for WAL-backed engines.
 func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 	if err := t.engine.checkOpen(); err != nil {
+		return storage.InvalidRID, err
+	}
+	if err := t.engine.walError(); err != nil {
 		return storage.InvalidRID, err
 	}
 	t.mu.Lock()
@@ -559,6 +679,21 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 	old, err := t.heap.Get(rid)
 	if err != nil {
 		return storage.InvalidRID, err
+	}
+	// Pin the pre-image page for the duration of the operation. A
+	// relocating update dirties the old page and then allocates into
+	// others; without the pin those fetches could evict the dirty old
+	// page — writing it to the store before its log record exists, the
+	// one ordering the write-ahead rule forbids (a crash in that window
+	// would lose the tuple: gone from the old page, never logged into
+	// the new one).
+	var oldFrame *buffer.Frame
+	if t.engine.wal != nil {
+		oldFrame, err = t.pool.Fetch(rid.Page)
+		if err != nil {
+			return storage.InvalidRID, err
+		}
+		defer t.pool.Unpin(oldFrame)
 	}
 	newRID, err := t.heap.Update(rid, tu)
 	if err != nil {
@@ -571,6 +706,9 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 		if b := t.buffers[col]; b != nil {
 			b.MaintainUpdate(oldV, newV, rid, newRID, oldIn, newIn)
 		}
+	}
+	if err := t.logDML(wal.KindUpdate, newRID, rid, rid.Page, newRID.Page); err != nil {
+		return newRID, err
 	}
 	return newRID, nil
 }
@@ -610,6 +748,16 @@ func (t *Table) QueryEqual(column int, key storage.Value) ([]exec.Match, exec.Qu
 // re-validated because exec.ExecuteShared re-dispatches on the state it
 // finds under the write lock.
 func (t *Table) QueryEqualCtx(ctx context.Context, column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
+	matches, stats, err := t.queryEqualCtx(ctx, column, key)
+	if err == nil {
+		// Best-effort query record (no Commit; rides the next fsync) so
+		// recovery can replay the workload tail and re-warm the buffers.
+		t.logQuery(column, true, key, key)
+	}
+	return matches, stats, err
+}
+
+func (t *Table) queryEqualCtx(ctx context.Context, column int, key storage.Value) ([]exec.Match, exec.QueryStats, error) {
 	if err := t.engine.checkOpen(); err != nil {
 		return nil, exec.QueryStats{}, err
 	}
@@ -656,6 +804,14 @@ func (t *Table) QueryRange(column int, lo, hi storage.Value) ([]exec.Match, exec
 // QueryRangeCtx is QueryRange honoring ctx; see QueryEqualCtx for the
 // locking protocol.
 func (t *Table) QueryRangeCtx(ctx context.Context, column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {
+	matches, stats, err := t.queryRangeCtx(ctx, column, lo, hi)
+	if err == nil {
+		t.logQuery(column, false, lo, hi)
+	}
+	return matches, stats, err
+}
+
+func (t *Table) queryRangeCtx(ctx context.Context, column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {
 	if err := t.engine.checkOpen(); err != nil {
 		return nil, exec.QueryStats{}, err
 	}

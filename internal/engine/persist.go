@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 
@@ -11,22 +12,29 @@ import (
 	"repro/internal/heap"
 	"repro/internal/index"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Save persists the engine's catalog and flushes every table's pages.
-// The engine must have been created with a DataDir; in-memory engines
-// have nothing durable to save. Index Buffers are not persisted — they
-// are volatile by design (paper §III) and start empty after Load.
+// On WAL-backed engines Save is a checkpoint: the log is fsynced first
+// (write-ahead rule), the flushed state is named by a checkpoint LSN in
+// the catalog, and the log is truncated behind it. The engine must have
+// been created with a DataDir; in-memory engines have nothing durable
+// to save. Index Buffers are not persisted — they are volatile by
+// design (paper §III) and start empty after Load.
 func (e *Engine) Save() error {
 	if err := e.checkOpen(); err != nil {
 		return err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	if e.cfg.DataDir == "" {
 		return fmt.Errorf("engine: Save requires a DataDir-backed engine")
 	}
+	if e.wal != nil {
+		return e.checkpoint()
+	}
 
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var cat catalog.Catalog
 	names := make([]string, 0, len(e.tables))
 	for n := range e.tables {
@@ -53,8 +61,8 @@ func (t *Table) saveMetaLocked(cat *catalog.Catalog) error {
 	if err := t.pool.FlushAll(); err != nil {
 		return fmt.Errorf("engine: flushing %s: %w", n, err)
 	}
-	if fs, ok := t.store.(*buffer.FileStore); ok {
-		if err := fs.Sync(); err != nil {
+	if s, ok := t.store.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
 			return fmt.Errorf("engine: syncing %s: %w", n, err)
 		}
 	}
@@ -83,10 +91,38 @@ func (t *Table) saveMetaLocked(cat *catalog.Catalog) error {
 	return nil
 }
 
-// Load opens a previously saved database from cfg.DataDir: it reattaches
-// every table's page file, rebuilds the partial indexes by scanning, and
-// creates fresh, empty Index Buffers with counters initialized against
-// the loaded indexes.
+// loadingTable is one table mid-recovery: its store is open (and
+// repaired) but redo has not finished, so pool/heap/indexes do not
+// exist yet.
+type loadingTable struct {
+	tm     catalog.TableMeta
+	schema *storage.Schema
+	fs     *buffer.FileStore
+	pages  int // heap page count after redo (starts at tm.NumPages)
+}
+
+// Load opens a previously saved database from cfg.DataDir. Recovery is
+// ARIES-style redo, physical variant:
+//
+//  1. Each table's page file is reopened, repairing a torn trailing
+//     partial page and truncating any whole pages past the catalog's
+//     checkpointed extent (either tail is an append that was never
+//     acknowledged — keeping it would leave garbage for redo to build
+//     on).
+//  2. The log is replayed from the catalog's checkpoint LSN, writing
+//     each record's full page images straight into the page files —
+//     idempotent regardless of which dirty pages the buffer pool had
+//     flushed before the crash. A torn record at the log's tail is
+//     repaired the same way.
+//  3. Heaps are reattached at their post-redo extents and the partial
+//     indexes rebuilt by scanning, with fresh, empty Index Buffers —
+//     volatile by design. The logged query tail is kept for Rewarm,
+//     which replays it through the normal query path so the buffers
+//     re-warm without waiting for live traffic.
+//
+// A post-recovery checkpoint then makes the redone state durable and
+// truncates the log. On any error every file opened so far is closed
+// before returning. RecoveryStats reports what recovery did.
 func Load(cfg Config) (*Engine, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("engine: Load requires a DataDir")
@@ -95,63 +131,186 @@ func Load(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := New(cfg)
+	e := newEngine(cfg)
+	e.recovery.CheckpointLSN = cat.CheckpointLSN
 
+	// Phase 1: reattach and repair page files. Track every opened store
+	// so any failure below releases them all (nothing leaks on a partial
+	// Load).
+	loading := make([]*loadingTable, 0, len(cat.Tables))
+	byName := make(map[string]*loadingTable, len(cat.Tables))
+	closeAll := func() {
+		for _, lt := range loading {
+			lt.fs.Close()
+		}
+	}
 	for _, tm := range cat.Tables {
 		cols := make([]storage.Column, len(tm.Columns))
 		for i, cm := range tm.Columns {
 			kind, err := catalog.DecodeKind(cm.Kind)
 			if err != nil {
+				closeAll()
 				return nil, err
 			}
 			cols[i] = storage.Column{Name: cm.Name, Kind: kind}
 		}
 		schema, err := storage.NewSchema(cols...)
 		if err != nil {
+			closeAll()
 			return nil, fmt.Errorf("engine: loading %s: %w", tm.Name, err)
 		}
-		store, err := buffer.OpenFileStoreExisting(filepath.Join(cfg.DataDir, tm.Name+".pages"))
+		fs, torn, err := buffer.RecoverFileStore(filepath.Join(cfg.DataDir, tm.Name+".pages"))
 		if err != nil {
+			closeAll()
 			return nil, err
 		}
-		if store.NumPages() < tm.NumPages {
-			store.Close()
-			return nil, fmt.Errorf("engine: table %s: catalog says %d pages, file has %d", tm.Name, tm.NumPages, store.NumPages())
+		lt := &loadingTable{tm: tm, schema: schema, fs: fs, pages: tm.NumPages}
+		loading = append(loading, lt)
+		byName[tm.Name] = lt
+		e.recovery.TornPageBytes += torn
+		if fs.NumPages() < tm.NumPages {
+			closeAll()
+			return nil, fmt.Errorf("engine: table %s: catalog says %d pages, file has %d", tm.Name, tm.NumPages, fs.NumPages())
+		}
+		if surplus := fs.NumPages() - tm.NumPages; surplus > 0 {
+			// The file ran past the checkpointed extent: pages allocated
+			// by operations that never reached a durable checkpoint or
+			// log record. Drop them — redo below re-extends the file for
+			// every logged allocation.
+			if err := fs.Truncate(tm.NumPages); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("engine: table %s: %w", tm.Name, err)
+			}
+			e.recovery.TruncatedPages += surplus
+		}
+	}
+
+	// Phase 2: redo. Replay every record past the checkpoint, writing
+	// page images directly to the stores (pools do not exist yet), and
+	// collect the query tail for Rewarm.
+	if !cfg.WAL.Disable || walDirExists(cfg.DataDir) {
+		info, err := wal.Replay(walDir(cfg.DataDir), wal.LSN(cat.CheckpointLSN), func(rec *wal.Record) error {
+			if rec.Kind == wal.KindQuery {
+				lt := byName[rec.Table]
+				if lt == nil || rec.Column < 0 || rec.Column >= lt.schema.NumColumns() {
+					return nil // tail for a table/column dropped since logging
+				}
+				e.rewarm = append(e.rewarm, rewarmQuery{
+					table: rec.Table, column: rec.Column, equal: rec.Equal, lo: rec.Lo, hi: rec.Hi,
+				})
+				return nil
+			}
+			lt := byName[rec.Table]
+			if lt == nil {
+				// DDL forces a checkpoint, so post-checkpoint DML always
+				// names a cataloged table; anything else is corruption.
+				return fmt.Errorf("engine: redo record %d names unknown table %q", rec.LSN, rec.Table)
+			}
+			for _, im := range rec.Images {
+				for int(im.Page) >= lt.fs.NumPages() {
+					if _, err := lt.fs.Allocate(); err != nil {
+						return err
+					}
+				}
+				if err := lt.fs.Write(im.Page, im.Data); err != nil {
+					return err
+				}
+				e.recovery.RedoPages++
+			}
+			lt.pages = rec.Pages
+			e.recovery.RedoRecords++
+			return nil
+		})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("engine: redo: %w", err)
+		}
+		e.recovery.TornWALBytes = info.TornBytes
+		e.recovery.QueryTail = len(e.rewarm)
+
+		if !cfg.WAL.Disable {
+			w, err := wal.Open(walDir(cfg.DataDir), walOptions(cfg), info.Next)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			e.wal = w
+		} else {
+			// The log has been applied; with the WAL disabled going
+			// forward nothing will keep it consistent with new writes, so
+			// a stale replay later would corrupt. Remove it.
+			if err := os.RemoveAll(walDir(cfg.DataDir)); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("engine: clearing wal: %w", err)
+			}
+		}
+	}
+
+	// Phase 3: reattach heaps at their post-redo extents and rebuild
+	// indexes and (empty, volatile) Index Buffers.
+	fail := func(err error) (*Engine, error) {
+		if e.wal != nil {
+			e.wal.Close()
+		}
+		closeAll()
+		return nil, err
+	}
+	for _, lt := range loading {
+		var store pageStore = lt.fs
+		if cfg.wrapStore != nil {
+			store = cfg.wrapStore(lt.tm.Name, store)
 		}
 		pool, err := buffer.NewPool(store, e.cfg.PoolPages)
 		if err != nil {
-			store.Close()
-			return nil, err
+			return fail(err)
 		}
-		hp, err := heap.OpenTable(schema, pool, tm.NumPages)
+		hp, err := heap.OpenTable(lt.schema, pool, lt.pages)
 		if err != nil {
-			store.Close()
-			return nil, fmt.Errorf("engine: reopening heap %s: %w", tm.Name, err)
+			return fail(fmt.Errorf("engine: reopening heap %s: %w", lt.tm.Name, err))
 		}
 		t := &Table{
 			engine:  e,
-			name:    tm.Name,
-			schema:  schema,
+			name:    lt.tm.Name,
+			schema:  lt.schema,
 			store:   store,
 			pool:    pool,
 			heap:    hp,
 			indexes: make(map[int]*index.Partial),
 			buffers: make(map[int]*core.IndexBuffer),
 		}
-		e.tables[tm.Name] = t
+		e.tables[lt.tm.Name] = t
 
-		for _, im := range tm.Indexes {
+		for _, im := range lt.tm.Indexes {
 			cov, err := im.Coverage.DecodeCoverage()
 			if err != nil {
-				return nil, fmt.Errorf("engine: index on %s column %d: %w", tm.Name, im.Column, err)
+				return fail(fmt.Errorf("engine: index on %s column %d: %w", lt.tm.Name, im.Column, err))
 			}
-			// CreatePartialIndex rebuilds the tree by scanning and wires
+			// createPartialIndex rebuilds the tree by scanning and wires
 			// up a fresh, empty Index Buffer with new counters — the
 			// buffer is volatile and never survives a restart.
-			if err := t.CreatePartialIndex(im.Column, cov); err != nil {
-				return nil, fmt.Errorf("engine: rebuilding index on %s column %d: %w", tm.Name, im.Column, err)
+			if err := t.createPartialIndex(im.Column, cov); err != nil {
+				return fail(fmt.Errorf("engine: rebuilding index on %s column %d: %w", lt.tm.Name, im.Column, err))
 			}
 		}
 	}
+
+	// Make the recovered state durable and reclaim the log; also covers
+	// the WAL-disabled path, where it rewrites the catalog at LSN 0.
+	if e.wal != nil {
+		if err := e.checkpoint(); err != nil {
+			ce := e.Close()
+			_ = ce
+			return nil, fmt.Errorf("engine: post-recovery checkpoint: %w", err)
+		}
+		e.startCheckpointer()
+	}
 	return e, nil
+}
+
+// walDirExists reports whether a log directory is present — the
+// WAL-disabled Load still applies and then clears an existing log, so
+// acknowledged operations are not silently dropped.
+func walDirExists(dataDir string) bool {
+	fi, err := os.Stat(walDir(dataDir))
+	return err == nil && fi.IsDir()
 }

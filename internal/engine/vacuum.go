@@ -22,6 +22,26 @@ import (
 // rewritten via a temporary file renamed into place. Vacuum returns the
 // page counts before and after.
 func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
+	// On WAL-backed engines, drain the log first: records appended
+	// before the vacuum carry images of the old page layout, and redoing
+	// them onto the rewritten file would smear garbage. The closing
+	// checkpoint then aligns the catalog with the swapped file. A crash
+	// between the file swap and that final checkpoint is detected at
+	// Load (page counts disagree) rather than silently corrupting.
+	if err := t.engine.checkpointIfWAL(); err != nil {
+		return 0, 0, fmt.Errorf("engine: checkpoint before vacuum of %s: %w", t.name, err)
+	}
+	pagesBefore, pagesAfter, err = t.vacuum()
+	if err != nil {
+		return pagesBefore, pagesAfter, err
+	}
+	if err := t.engine.checkpointIfWAL(); err != nil {
+		return pagesBefore, pagesAfter, fmt.Errorf("engine: checkpoint after vacuum of %s: %w", t.name, err)
+	}
+	return pagesBefore, pagesAfter, nil
+}
+
+func (t *Table) vacuum() (pagesBefore, pagesAfter int, err error) {
 	if err := t.engine.checkOpen(); err != nil {
 		return 0, 0, err
 	}
@@ -32,6 +52,7 @@ func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
 
 	// Stage the replacement heap on a fresh store.
 	var newStore pageStore
+	var newFS *buffer.FileStore
 	var tmpPath string
 	if t.engine.cfg.DataDir != "" {
 		tmpPath = filepath.Join(t.engine.cfg.DataDir, t.name+".pages.vacuum")
@@ -39,15 +60,17 @@ func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
 		if err != nil {
 			return pagesBefore, 0, err
 		}
+		newFS = fs
 		newStore = fs
 	} else {
 		newStore = buffer.NewSimDisk()
 	}
+	if t.engine.cfg.wrapStore != nil {
+		newStore = t.engine.cfg.wrapStore(t.name, newStore)
+	}
 	cleanupTmp := func() {
 		if tmpPath != "" {
-			if c, ok := newStore.(*buffer.FileStore); ok {
-				c.Close()
-			}
+			newFS.Close()
 			os.Remove(tmpPath)
 		}
 	}
@@ -74,12 +97,11 @@ func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
 			cleanupTmp()
 			return pagesBefore, 0, err
 		}
-		fs := newStore.(*buffer.FileStore)
-		if err := fs.Sync(); err != nil {
+		if err := newFS.Sync(); err != nil {
 			cleanupTmp()
 			return pagesBefore, 0, err
 		}
-		if old, ok := t.store.(*buffer.FileStore); ok {
+		if old, ok := t.store.(interface{ Close() error }); ok {
 			_ = old.Close()
 		}
 		final := filepath.Join(t.engine.cfg.DataDir, t.name+".pages")

@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// WALConfig configures the engine's write-ahead log. It only takes
+// effect on DataDir-backed engines; in-memory engines have nothing
+// durable to log.
+type WALConfig struct {
+	// Disable turns the WAL off, reverting to PR-era snapshot-only
+	// persistence: Save/Close write a point-in-time image and anything
+	// after the last Save is lost on a crash.
+	Disable bool
+
+	// SyncPolicy selects the Commit durability protocol (group commit by
+	// default); see wal.SyncPolicy.
+	SyncPolicy wal.SyncPolicy
+
+	// SegmentBytes overrides the log segment rotation threshold.
+	SegmentBytes int
+
+	// SyncDelay charges every log fsync with an extra sleep, the same
+	// simulated-device convention as Config.ReadLatency, so group-commit
+	// experiments keep a real device's shape on fast filesystems.
+	SyncDelay time.Duration
+
+	// CheckpointEvery, when positive, runs a background checkpoint loop
+	// at this period. Zero means checkpoints happen only on DDL, Save,
+	// Close, and explicit Checkpoint calls.
+	CheckpointEvery time.Duration
+
+	// DisableQueryLog stops logging query descriptors. Queries are never
+	// needed for redo correctness — they only feed post-recovery buffer
+	// re-warming — so this trades restart warmth for log volume.
+	DisableQueryLog bool
+}
+
+// walSubdir is the log's directory under DataDir.
+const walSubdir = "wal"
+
+func walDir(dataDir string) string { return filepath.Join(dataDir, walSubdir) }
+
+func walOptions(cfg Config) wal.Options {
+	return wal.Options{
+		Policy:       cfg.WAL.SyncPolicy,
+		SegmentBytes: cfg.WAL.SegmentBytes,
+		SyncDelay:    cfg.WAL.SyncDelay,
+	}
+}
+
+// RecoveryStats describes what Load's recovery pass did.
+type RecoveryStats struct {
+	// CheckpointLSN is the catalog's checkpoint position redo started
+	// from.
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	// RedoRecords and RedoPages count replayed DML records and the page
+	// images they wrote.
+	RedoRecords int `json:"redo_records"`
+	RedoPages   int `json:"redo_pages"`
+	// TruncatedPages counts heap pages dropped because the page file ran
+	// past the catalog's extent — an append that never reached a durable
+	// checkpoint or log record.
+	TruncatedPages int `json:"truncated_pages"`
+	// TornPageBytes counts partial-page bytes trimmed from page files;
+	// TornWALBytes counts bytes of a mid-write log record truncated from
+	// the final segment.
+	TornPageBytes int64 `json:"torn_page_bytes"`
+	TornWALBytes  int64 `json:"torn_wal_bytes"`
+	// QueryTail is the number of logged query descriptors recovered for
+	// Rewarm.
+	QueryTail int `json:"query_tail"`
+}
+
+// RecoveryStats returns what the Load that produced this engine did
+// during redo. Zero for engines created with New.
+func (e *Engine) RecoveryStats() RecoveryStats { return e.recovery }
+
+// WALStats returns log-writer counters, or zeros when the WAL is off.
+func (e *Engine) WALStats() wal.Stats {
+	if e.wal == nil {
+		return wal.Stats{}
+	}
+	return e.wal.Stats()
+}
+
+// walError surfaces a WAL that failed to initialize: the engine stays
+// queryable but refuses DML rather than silently running non-durable.
+func (e *Engine) walError() error {
+	if e.walErr != nil {
+		return fmt.Errorf("engine: wal unavailable: %w", e.walErr)
+	}
+	return nil
+}
+
+// capturePage copies the current image of one heap page. Called with
+// the table lock exclusive; the page is resident (just dirtied by the
+// operation being logged, or pinned by the caller), so this is a pool
+// hit, not device I/O.
+func (t *Table) capturePage(p storage.PageID) (wal.PageImage, error) {
+	f, err := t.pool.Fetch(p)
+	if err != nil {
+		return wal.PageImage{}, err
+	}
+	img := make([]byte, buffer.PageSize)
+	copy(img, f.Data())
+	t.pool.Unpin(f)
+	return wal.PageImage{Page: p, Data: img}, nil
+}
+
+// logDML appends one DML record — logical fields plus full images of
+// the dirtied pages — and blocks until it is durable per the sync
+// policy. Called with the table lock exclusive, after the heap
+// operation and index maintenance succeeded. Pages may repeat (an
+// in-place update names the same page twice); duplicates are captured
+// once.
+func (t *Table) logDML(kind wal.Kind, rid, oldRID storage.RID, pages ...storage.PageID) error {
+	w := t.engine.wal
+	if w == nil {
+		return nil
+	}
+	rec := &wal.Record{
+		Kind:   kind,
+		Table:  t.name,
+		Pages:  t.heap.NumPages(),
+		RID:    rid,
+		OldRID: oldRID,
+	}
+	for _, p := range pages {
+		dup := false
+		for _, im := range rec.Images {
+			if im.Page == p {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		im, err := t.capturePage(p)
+		if err != nil {
+			return fmt.Errorf("engine: wal image of %s page %d: %w", t.name, p, err)
+		}
+		rec.Images = append(rec.Images, im)
+	}
+	lsn, err := w.Append(rec)
+	if err != nil {
+		return fmt.Errorf("engine: wal append: %w", err)
+	}
+	if err := w.Commit(lsn); err != nil {
+		return fmt.Errorf("engine: wal commit: %w", err)
+	}
+	return nil
+}
+
+// logQuery appends one query descriptor for post-recovery re-warming.
+// Best-effort and async: the record rides the next fsync (a lost query
+// record costs a little restart warmth, never correctness), and errors
+// are swallowed for the same reason.
+func (t *Table) logQuery(column int, equal bool, lo, hi storage.Value) {
+	w := t.engine.wal
+	if w == nil || t.engine.cfg.WAL.DisableQueryLog {
+		return
+	}
+	_, _ = w.Append(&wal.Record{
+		Kind:   wal.KindQuery,
+		Table:  t.name,
+		Column: column,
+		Equal:  equal,
+		Lo:     lo,
+		Hi:     hi,
+	})
+}
+
+// Checkpoint flushes every table's dirty pages, writes a catalog
+// consistent with them, and truncates the log up to the captured
+// position. Readers are not blocked: only shared table locks are taken
+// (the pool is internally synchronized), so queries proceed while the
+// checkpoint runs; DML on a table briefly waits for that table's flush.
+func (e *Engine) Checkpoint() error {
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
+	if e.wal == nil {
+		return fmt.Errorf("engine: Checkpoint requires a WAL-backed engine")
+	}
+	return e.checkpoint()
+}
+
+// checkpointIfWAL checkpoints when a WAL is active — the DDL epilogue.
+// DDL forcing a synchronous checkpoint keeps the log free of schema
+// records: everything in the log is DML or queries against a catalog
+// that already reflects all DDL.
+func (e *Engine) checkpointIfWAL() error {
+	if e.wal == nil {
+		return nil
+	}
+	return e.checkpoint()
+}
+
+// checkpoint is the internal variant without the closed check, used by
+// Close for the final checkpoint. Ordering is the write-ahead rule run
+// backwards: capture the log position, make the log durable up to it,
+// then flush pages, then publish a catalog naming the position, then
+// reclaim the log. Records appended mid-checkpoint are beyond the
+// captured position and simply replay on top after a crash — redo by
+// full page images is idempotent.
+func (e *Engine) checkpoint() error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	lsn := e.wal.AppendedLSN()
+	if err := e.wal.Sync(); err != nil {
+		return err
+	}
+
+	var cat catalog.Catalog
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := e.tables[n]
+		t.mu.RLock()
+		err := t.saveMetaLocked(&cat)
+		t.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	cat.CheckpointLSN = uint64(lsn)
+	if err := catalog.Save(e.cfg.DataDir, cat); err != nil {
+		return err
+	}
+	e.lastCkpt.Store(uint64(lsn))
+	return e.wal.TruncateTo(lsn)
+}
+
+// startCheckpointer launches the periodic checkpoint loop when
+// configured.
+func (e *Engine) startCheckpointer() {
+	if e.wal == nil || e.cfg.WAL.CheckpointEvery <= 0 {
+		return
+	}
+	e.ckptStop = make(chan struct{})
+	e.ckptDone = make(chan struct{})
+	go func() {
+		defer close(e.ckptDone)
+		tick := time.NewTicker(e.cfg.WAL.CheckpointEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.ckptStop:
+				return
+			case <-tick.C:
+				// Skip when nothing was logged since the last checkpoint.
+				if uint64(e.wal.AppendedLSN()) == e.lastCkpt.Load() {
+					continue
+				}
+				_ = e.checkpoint() // surfaced again by the Close checkpoint
+			}
+		}
+	}()
+}
+
+// stopCheckpointer halts the periodic loop and waits for it.
+func (e *Engine) stopCheckpointer() {
+	if e.ckptStop == nil {
+		return
+	}
+	close(e.ckptStop)
+	<-e.ckptDone
+	e.ckptStop = nil
+}
+
+// rewarmQuery is one recovered query descriptor awaiting replay.
+type rewarmQuery struct {
+	table  string
+	column int
+	equal  bool
+	lo, hi storage.Value
+}
+
+// Rewarm replays the query tail recovered from the log through the
+// normal query path, so the volatile Index Buffers — which never
+// survive a restart by design (paper §III) — converge back toward
+// their pre-crash state without waiting for live traffic. Each
+// affected buffer gets one "buffer-reset" event first, so the restart
+// registers as a fresh convergence episode on the adaptation timeline
+// (enable the timeline before calling Rewarm to record it).
+//
+// The tail is consumed: a second call replays nothing. Returns the
+// number of queries replayed; unknown tables or columns in the tail
+// (dropped since logging) are skipped.
+func (e *Engine) Rewarm(ctx context.Context) (int, error) {
+	if err := e.checkOpen(); err != nil {
+		return 0, err
+	}
+	e.rewarmMu.Lock()
+	tail := e.rewarm
+	e.rewarm = nil
+	e.rewarmMu.Unlock()
+
+	obs := spaceSpans{tr: e.tracer, tl: e.timeline}
+	reset := make(map[string]bool)
+	n := 0
+	for _, q := range tail {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		t := e.Table(q.table)
+		if t == nil || q.column < 0 || q.column >= t.schema.NumColumns() {
+			continue
+		}
+		if t.Index(q.column) == nil {
+			continue
+		}
+		if name := t.bufferName(q.column); t.Buffer(q.column) != nil && !reset[name] {
+			reset[name] = true
+			obs.SpaceEvent("buffer-reset", name, -1, 0)
+		}
+		var err error
+		if q.equal {
+			_, _, err = t.QueryEqualCtx(ctx, q.column, q.lo)
+		} else {
+			_, _, err = t.QueryRangeCtx(ctx, q.column, q.lo, q.hi)
+		}
+		if err != nil {
+			return n, fmt.Errorf("engine: rewarm replay on %s: %w", q.table, err)
+		}
+		n++
+	}
+	return n, nil
+}

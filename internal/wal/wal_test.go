@@ -1,0 +1,432 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func dmlRecord(table string, lsnHint int) *Record {
+	img := make([]byte, 64)
+	for i := range img {
+		img[i] = byte(lsnHint + i)
+	}
+	return &Record{
+		Kind:   KindInsert,
+		Table:  table,
+		Pages:  lsnHint + 1,
+		RID:    storage.RID{Page: storage.PageID(lsnHint), Slot: 3},
+		OldRID: storage.InvalidRID,
+		Images: []PageImage{{Page: storage.PageID(lsnHint), Data: img}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 20; i++ {
+		var rec *Record
+		if i%4 == 3 {
+			rec = &Record{
+				Kind: KindQuery, Table: "t", Column: 2, Equal: i%2 == 0,
+				Lo: storage.Int64Value(int64(i)), Hi: storage.StringValue(fmt.Sprintf("v%d", i)),
+			}
+		} else {
+			rec = dmlRecord("t", i)
+		}
+		lsn, err := w.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != LSN(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+		if err := w.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, *rec)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	info, err := Replay(dir, 0, func(r *Record) error {
+		got = append(got, *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 20 || info.Last != 20 || info.Next != 21 || info.TornBytes != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	for i := range want {
+		g, wnt := got[i], want[i]
+		if g.LSN != LSN(i+1) || g.Kind != wnt.Kind || g.Table != wnt.Table ||
+			g.Pages != wnt.Pages || g.RID != wnt.RID || g.OldRID != wnt.OldRID ||
+			g.Column != wnt.Column || g.Equal != wnt.Equal ||
+			!g.Lo.Equal(wnt.Lo) && g.Lo.IsValid() != wnt.Lo.IsValid() {
+			t.Fatalf("record %d: got %+v want %+v", i, g, wnt)
+		}
+		if len(g.Images) != len(wnt.Images) {
+			t.Fatalf("record %d: %d images, want %d", i, len(g.Images), len(wnt.Images))
+		}
+		for j := range g.Images {
+			if g.Images[j].Page != wnt.Images[j].Page || string(g.Images[j].Data) != string(wnt.Images[j].Data) {
+				t.Fatalf("record %d image %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReplayWatermarkSkips(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(dmlRecord("t", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var first LSN
+	info, err := Replay(dir, 6, func(r *Record) error {
+		if first == 0 {
+			first = r.LSN
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 7 || info.Records != 4 || info.Skipped != 6 {
+		t.Fatalf("first=%d info=%+v", first, info)
+	}
+}
+
+// TestTornTailRepair crashes mid-record: the log's last frame is cut at
+// every possible byte boundary and replay must deliver exactly the
+// records before it, truncating the garbage.
+func TestTornTailRepair(t *testing.T) {
+	t.Parallel()
+	build := func(dir string) string {
+		w, err := Create(dir, Options{Policy: SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := w.Append(dmlRecord("t", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := listSegments(dir)
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("segments: %v %v", segs, err)
+		}
+		return segs[0].path
+	}
+
+	ref := t.TempDir()
+	path := build(ref)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the offset of the third record by replaying two.
+	sizes := []int{}
+	off := 0
+	for off < len(whole) {
+		size := int(uint32(whole[off+4]) | uint32(whole[off+5])<<8 | uint32(whole[off+6])<<16 | uint32(whole[off+7])<<24)
+		sizes = append(sizes, 8+size)
+		off += 8 + size
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("found %d frames", len(sizes))
+	}
+	rec3Start := sizes[0] + sizes[1]
+
+	for cut := rec3Start + 1; cut < len(whole); cut += 7 {
+		dir := t.TempDir()
+		p := build(dir)
+		if err := os.Truncate(p, int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		info, err := Replay(dir, 0, func(*Record) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if n != 2 || info.Last != 2 || info.TornBytes != int64(cut-rec3Start) {
+			t.Fatalf("cut %d: n=%d info=%+v", cut, n, info)
+		}
+		// The repair is durable: a second replay sees a clean log.
+		info2, err := Replay(dir, 0, func(*Record) error { return nil })
+		if err != nil || info2.TornBytes != 0 || info2.Last != 2 {
+			t.Fatalf("cut %d second replay: %+v %v", cut, info2, err)
+		}
+	}
+}
+
+// TestCorruptTailRepair flips bytes inside the final record — the CRC
+// must reject it and replay must truncate.
+func TestCorruptTailRepair(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(dmlRecord("t", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	info, err := Replay(dir, 0, func(*Record) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || info.Last != 2 || info.TornBytes == 0 {
+		t.Fatalf("n=%d info=%+v", n, info)
+	}
+}
+
+// TestCorruptMiddleSegmentFails: corruption before the final segment
+// would lose acknowledged records — replay must refuse, not repair.
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := w.Append(dmlRecord("t", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments; rotation broken?", len(segs))
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, 0, func(*Record) error { return nil }); err == nil {
+		t.Fatal("replay of corrupt middle segment should fail")
+	}
+}
+
+func TestSegmentRotationAndTruncate(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := w.Append(dmlRecord("t", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 4 {
+		t.Fatalf("%d segments, want >= 4", len(segs))
+	}
+	// Truncating to LSN 20 must keep every record > 20 replayable.
+	if err := w.TruncateTo(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := listSegments(dir)
+	if len(after) >= len(segs) {
+		t.Fatalf("truncate removed nothing: %d -> %d segments", len(segs), len(after))
+	}
+	var lsns []LSN
+	if _, err := Replay(dir, 20, func(r *Record) error { lsns = append(lsns, r.LSN); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 20 || lsns[0] != 21 || lsns[len(lsns)-1] != 40 {
+		t.Fatalf("replayed %v", lsns)
+	}
+}
+
+func TestOpenContinuesLSNs(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(dmlRecord("t", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Replay(dir, 0, func(*Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{Policy: SyncNever}, info.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w2.Append(dmlRecord("t", 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 6 {
+		t.Fatalf("continued lsn = %d, want 6", lsn)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := Replay(dir, 0, func(*Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("replayed %d records, want 6", n)
+	}
+}
+
+// TestGroupCommitDurability: concurrent committers under SyncBatch all
+// return with their record durable, and the fsync count stays well
+// below one per commit.
+func TestGroupCommitDurability(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncBatch, SyncDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn, err := w.Append(dmlRecord("t", g*per+i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.Commit(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+				if w.DurableLSN() < lsn {
+					t.Errorf("commit returned before durable: %d < %d", w.DurableLSN(), lsn)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.Appends != workers*per {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	if st.Syncs >= st.Commits {
+		t.Errorf("group commit did not batch: %d syncs for %d commits", st.Syncs, st.Commits)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := Replay(dir, 0, func(*Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*per {
+		t.Fatalf("replayed %d, want %d", n, workers*per)
+	}
+}
+
+func TestSyncAlwaysOneFsyncPerCommit(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		lsn, err := w.Append(dmlRecord("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Syncs < 10 {
+		t.Errorf("SyncAlways issued %d fsyncs for 10 commits", st.Syncs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateClearsStaleSegments(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	stale := filepath.Join(dir, segName(1))
+	if err := os.WriteFile(stale, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Replay(dir, 0, func(*Record) error { return nil })
+	if err != nil || info.Records != 0 {
+		t.Fatalf("stale log not cleared: %+v %v", info, err)
+	}
+}

@@ -1,0 +1,476 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects how Commit makes appended records durable.
+type SyncPolicy int
+
+const (
+	// SyncBatch is group commit: Commit wakes a background flusher and
+	// waits for the one fsync that covers every record appended so far.
+	// While an fsync is in flight, arriving commits pile onto the next
+	// one, so the fsync cost amortizes over the commit concurrency.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways issues one fsync per Commit — the classical
+	// durability-first policy, and the benchmark's contrast arm.
+	SyncAlways
+	// SyncNever leaves syncing to the OS and to explicit Sync calls
+	// (checkpoints always fsync). Commit returns as soon as the record
+	// is in the OS page cache; an OS crash can lose the tail.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configures a Writer. The zero value is usable: group commit,
+// 4 MiB segments, no artificial sync latency.
+type Options struct {
+	// Policy selects the Commit durability protocol.
+	Policy SyncPolicy
+	// SegmentBytes rotates to a fresh segment file once the current one
+	// exceeds this size. Zero means DefaultSegmentBytes.
+	SegmentBytes int
+	// SyncDelay, when positive, charges every fsync with an additional
+	// sleep — the same simulated-device convention as buffer.SimDisk's
+	// latencies, so group-commit benchmarks take a real device's shape
+	// even on a RAM-backed filesystem.
+	SyncDelay time.Duration
+}
+
+// DefaultSegmentBytes is the segment rotation threshold.
+const DefaultSegmentBytes = 4 << 20
+
+// Stats is a snapshot of writer activity.
+type Stats struct {
+	Appends  uint64 // records appended
+	Commits  uint64 // Commit calls
+	Syncs    uint64 // fsyncs issued
+	Bytes    uint64 // payload+frame bytes appended
+	Segments uint64 // segment files created
+	Removed  uint64 // segment files removed by TruncateTo
+}
+
+// Writer appends records to the segmented log. It is safe for
+// concurrent use: Append serializes on an internal mutex, Commit blocks
+// only on durability (per the policy), and fsyncs never hold the append
+// lock, so appends proceed while a sync is in flight — the property
+// group commit is built on.
+type Writer struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex // guards the fields below: append order, rotation
+	f        *os.File
+	buf      *bufio.Writer
+	segBytes int
+	nextLSN  LSN
+	appended LSN
+	scratch  []byte
+	segs     []segment // live segments, oldest first; last is open
+	closed   bool
+
+	closeOnce atomic.Bool
+
+	syncMu  sync.Mutex // serializes fsyncs; never held with mu or condMu
+	durable atomic.Uint64
+
+	// group commit: Commit signals flushCh (capacity 1) and waits on
+	// cond until durable covers its LSN; the flusher loops on flushCh.
+	flushCh chan struct{}
+	quit    chan struct{}
+	done    chan struct{}
+	condMu  sync.Mutex
+	cond    *sync.Cond
+	syncErr error // sticky; guarded by condMu
+
+	appends  atomic.Uint64
+	commits  atomic.Uint64
+	syncs    atomic.Uint64
+	bytes    atomic.Uint64
+	segsMade atomic.Uint64
+	removed  atomic.Uint64
+}
+
+// segment is one live log file.
+type segment struct {
+	path  string
+	first LSN // LSN of the first record the segment may contain
+}
+
+const segPrefix = "wal-"
+const segSuffix = ".seg"
+
+func segName(first LSN) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, uint64(first), segSuffix)
+}
+
+// parseSegName extracts the first-LSN from a segment file name.
+func parseSegName(name string) (LSN, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return LSN(v), true
+}
+
+// listSegments returns dir's segment files sorted by first LSN.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		if first, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segment{path: filepath.Join(dir, e.Name()), first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Create initializes a fresh log in dir, removing any existing
+// segments — the "new database" path, mirroring how table page files
+// are truncated on creation.
+func Create(dir string, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	old, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range old {
+		if err := os.Remove(s.path); err != nil {
+			return nil, fmt.Errorf("wal: clear stale segment: %w", err)
+		}
+	}
+	return newWriter(dir, opts, 1)
+}
+
+// Open attaches a writer to an existing log directory, appending from
+// next (one past the last replayed LSN). A fresh segment is started;
+// earlier segments stay in place until a checkpoint truncates them.
+func Open(dir string, opts Options, next LSN) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open dir: %w", err)
+	}
+	if next < 1 {
+		next = 1
+	}
+	return newWriter(dir, opts, next)
+}
+
+func newWriter(dir string, opts Options, next LSN) (*Writer, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	w := &Writer{
+		dir:     dir,
+		opts:    opts,
+		nextLSN: next,
+		flushCh: make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.condMu)
+	w.appended = next - 1
+	w.durable.Store(uint64(next - 1))
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w.segs = segs
+	if err := w.openSegmentLocked(next); err != nil {
+		return nil, err
+	}
+	go w.flusher()
+	return w, nil
+}
+
+// openSegmentLocked starts a fresh segment whose first record will be
+// first. Caller holds mu (or is the constructor).
+func (w *Writer) openSegmentLocked(first LSN) error {
+	path := filepath.Join(w.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.buf = bufio.NewWriterSize(f, 64<<10)
+	w.segBytes = 0
+	w.segs = append(w.segs, segment{path: path, first: first})
+	w.segsMade.Add(1)
+	return nil
+}
+
+// syncDir fsyncs a directory so file creations and removals inside it
+// are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Append encodes the record, assigns it the next LSN and writes it to
+// the current segment (buffered; durability comes from Commit or Sync).
+// The assigned LSN is returned and also stored in rec.LSN.
+func (w *Writer) Append(rec *Record) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: writer is closed")
+	}
+	if w.segBytes >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	rec.LSN = w.nextLSN
+	payload, err := encodePayload(w.scratch[:0], rec)
+	if err != nil {
+		return 0, err
+	}
+	w.scratch = payload // reuse the grown buffer next time
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := w.buf.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	w.nextLSN++
+	w.appended = rec.LSN
+	w.segBytes += len(hdr) + len(payload)
+	w.appends.Add(1)
+	w.bytes.Add(uint64(len(hdr) + len(payload)))
+	return rec.LSN, nil
+}
+
+// rotateLocked finishes the current segment (flushed and fsynced, so
+// the durable watermark never points past un-synced bytes in an
+// abandoned file) and opens the next one.
+func (w *Writer) rotateLocked() error {
+	if err := w.buf.Flush(); err != nil {
+		return fmt.Errorf("wal: rotate flush: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	w.syncs.Add(1)
+	return w.openSegmentLocked(w.nextLSN)
+}
+
+// Commit blocks until the record at lsn is durable per the policy.
+func (w *Writer) Commit(lsn LSN) error {
+	w.commits.Add(1)
+	switch w.opts.Policy {
+	case SyncNever:
+		return nil
+	case SyncAlways:
+		return w.Sync()
+	default: // SyncBatch
+		if LSN(w.durable.Load()) >= lsn {
+			return nil
+		}
+		select {
+		case w.flushCh <- struct{}{}:
+		default: // a flush signal is already pending
+		}
+		w.condMu.Lock()
+		defer w.condMu.Unlock()
+		for LSN(w.durable.Load()) < lsn {
+			if w.syncErr != nil {
+				return w.syncErr
+			}
+			w.cond.Wait()
+		}
+		return nil
+	}
+}
+
+// Sync flushes buffered appends and fsyncs the current segment,
+// advancing the durable watermark. Checkpoints call it regardless of
+// policy: the log must be durable before page flushes may proceed.
+func (w *Writer) Sync() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.condMu.Lock()
+	stuck := w.syncErr
+	w.condMu.Unlock()
+	if stuck != nil {
+		return stuck
+	}
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: writer is closed")
+	}
+	target := w.appended
+	err := w.buf.Flush()
+	f := w.f
+	w.mu.Unlock()
+
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		werr := fmt.Errorf("wal: sync: %w", err)
+		w.condMu.Lock()
+		w.syncErr = werr
+		w.cond.Broadcast()
+		w.condMu.Unlock()
+		return werr
+	}
+	w.syncs.Add(1)
+	if d := w.opts.SyncDelay; d > 0 {
+		time.Sleep(d)
+	}
+	// Monotonic advance; another Sync cannot be concurrent (syncMu).
+	if LSN(w.durable.Load()) < target {
+		w.durable.Store(uint64(target))
+	}
+	w.condMu.Lock()
+	w.cond.Broadcast()
+	w.condMu.Unlock()
+	return nil
+}
+
+// flusher is the group-commit daemon: each wakeup issues one fsync
+// covering every record appended so far. Commits arriving during the
+// fsync pile onto the next wakeup.
+func (w *Writer) flusher() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.flushCh:
+			_ = w.Sync() // errors are sticky; waiters observe syncErr
+		}
+	}
+}
+
+// AppendedLSN returns the last appended LSN (0 if none).
+func (w *Writer) AppendedLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// DurableLSN returns the last LSN known to be on stable storage.
+func (w *Writer) DurableLSN() LSN { return LSN(w.durable.Load()) }
+
+// TruncateTo removes segments that contain only records at or below
+// lsn — the checkpoint's log-reclamation step. The open segment is
+// never removed.
+func (w *Writer) TruncateTo(lsn LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.segs[:0]
+	for i, s := range w.segs {
+		// Segment i holds LSNs in [s.first, nextSeg.first); disposable
+		// when every one of them is <= lsn. The last (open) segment has
+		// no successor and always stays.
+		if i+1 < len(w.segs) && w.segs[i+1].first <= lsn+1 {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			w.removed.Add(1)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.segs = append([]segment(nil), kept...)
+	return syncDir(w.dir)
+}
+
+// Stats returns a snapshot of writer counters.
+func (w *Writer) Stats() Stats {
+	return Stats{
+		Appends:  w.appends.Load(),
+		Commits:  w.commits.Load(),
+		Syncs:    w.syncs.Load(),
+		Bytes:    w.bytes.Load(),
+		Segments: w.segsMade.Load(),
+		Removed:  w.removed.Load(),
+	}
+}
+
+// Close flushes and fsyncs outstanding records and releases the
+// segment file. Further Appends fail.
+func (w *Writer) Close() error {
+	if !w.closeOnce.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := w.Sync()
+	close(w.quit)
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	// Wake any committer still waiting so it observes closed/syncErr
+	// instead of blocking forever.
+	w.condMu.Lock()
+	w.cond.Broadcast()
+	w.condMu.Unlock()
+	return err
+}
