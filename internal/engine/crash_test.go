@@ -523,3 +523,178 @@ func TestRewarmRegistersConvergenceEpisode(t *testing.T) {
 		t.Fatalf("second Rewarm = (%d, %v), want (0, nil)", n2, err)
 	}
 }
+
+// TestCrashLoopRestartKeepsAcknowledgedOps crashes, recovers, crashes
+// again immediately (no ops in between), recovers again, and then runs
+// acknowledged DML. The second Load reopens the WAL at a tail segment
+// whose first LSN equals the resume point; a duplicate segment entry
+// there let the post-recovery checkpoint unlink the live segment, so
+// the DML's fsynced commits vanished on the next crash.
+func TestCrashLoopRestartKeepsAcknowledgedOps(t *testing.T) {
+	dir := t.TempDir()
+	// Large segments: every post-restart append must stay in the first
+	// (wrongly unlinked) segment — a rotation would start a fresh disk
+	// file and full-page-image redo would mask the loss.
+	cfg := func() Config {
+		c := crashConfig(dir)
+		c.WAL.SegmentBytes = 1 << 20
+		return c
+	}
+	ops := crashScript(31, 20, 12)
+	rig := newCrashRig(t, New(cfg()))
+	for i, op := range ops {
+		if err := rig.apply(op); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+
+	// Crash 1: abandon. Restart 1: recover, then crash again with no
+	// appends — leaves an empty tail segment at the resume LSN.
+	if _, err := Load(cfg()); err != nil {
+		t.Fatalf("Load 1: %v", err)
+	}
+
+	// Restart 2: recover at the same LSN and run more acknowledged DML.
+	e2, err := Load(cfg())
+	if err != nil {
+		t.Fatalf("Load 2: %v", err)
+	}
+	rig2 := &crashRig{
+		eng:    e2,
+		tables: []*Table{e2.Table("orders"), e2.Table("events")},
+		rids:   make([][]storage.RID, 2),
+	}
+	extra := crashScript(37, 10, 0)
+	for i, op := range extra {
+		if err := rig2.apply(op); err != nil {
+			t.Fatalf("extra op %d: %v", i, err)
+		}
+	}
+
+	// Crash 3: abandon again. Every acknowledged op — original stream
+	// and the post-restart extras — must survive.
+	recovered, err := Load(cfg())
+	if err != nil {
+		t.Fatalf("Load 3: %v", err)
+	}
+	defer recovered.Close()
+	all := append(append([]crashOp(nil), ops...), extra...)
+	got := &crashRig{eng: recovered}
+	diffRigs(t, "crash loop", got, oracleRig(t, all, len(all)))
+}
+
+// TestVacuumCrashBeforeCatalogRepublish crashes in vacuum's window
+// between the page-file swap and the catalog republication. The old
+// behavior left catalog NumPages > file pages and Load refused forever;
+// the vacuum-commit marker must let Load accept the swapped file.
+func TestVacuumCrashBeforeCatalogRepublish(t *testing.T) {
+	dir := t.TempDir()
+	rig := newCrashRig(t, New(crashConfig(dir)))
+	tb := rig.tables[0]
+	var rids []storage.RID
+	want := map[string]int{}
+	for i := 0; i < 60; i++ {
+		tu := storage.NewTuple(
+			storage.Int64Value(int64(i%200+1)), storage.Int64Value(int64(i)),
+			storage.StringValue(strings.Repeat("x", 300)),
+		)
+		rid, err := tb.Insert(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+		if i >= 45 {
+			want[tu.String()]++
+		}
+	}
+	for i := 0; i < 45; i++ {
+		if err := tb.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rig.eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The swap itself, without Vacuum's closing checkpoint — then crash.
+	before, after, err := tb.vacuum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("vacuum did not shrink the heap: %d -> %d pages", before, after)
+	}
+
+	recovered, err := Load(crashConfig(dir))
+	if err != nil {
+		t.Fatalf("Load after vacuum crash: %v", err)
+	}
+	defer recovered.Close()
+	if got := recovered.RecoveryStats().VacuumRepairs; got != 1 {
+		t.Errorf("VacuumRepairs = %d, want 1", got)
+	}
+	got := map[string]int{}
+	n := 0
+	err = recovered.Table("orders").Scan(func(_ storage.RID, tu storage.Tuple) error {
+		got[tu.String()]++
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("recovered %d tuples, want 15", n)
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("tuple %q: got %d, want %d", k, got[k], c)
+		}
+	}
+	// The marker is consumed and the repaired extent republished: the
+	// marker file is gone and a clean reopen succeeds.
+	if _, err := os.Stat(vacuumMarkerPath(dir, "orders")); !os.IsNotExist(err) {
+		t.Errorf("vacuum marker not retired: %v", err)
+	}
+	if err := recovered.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(crashConfig(dir))
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	again.Close()
+}
+
+// TestStaleVacuumMarkerIgnored: a marker whose page count does not
+// match the file predates the swap (vacuum crashed before the rename);
+// Load must ignore it, keep the old state, and sweep the marker.
+func TestStaleVacuumMarkerIgnored(t *testing.T) {
+	dir := t.TempDir()
+	ops := crashScript(41, 16, 0)
+	rig := newCrashRig(t, New(crashConfig(dir)))
+	for i, op := range ops {
+		if err := rig.apply(op); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := rig.eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(vacuumMarkerPath(dir, "orders"), []byte(`{"pages": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := Load(crashConfig(dir))
+	if err != nil {
+		t.Fatalf("Load with stale marker: %v", err)
+	}
+	defer recovered.Close()
+	if got := recovered.RecoveryStats().VacuumRepairs; got != 0 {
+		t.Errorf("VacuumRepairs = %d, want 0", got)
+	}
+	gotRig := &crashRig{eng: recovered}
+	diffRigs(t, "stale marker", gotRig, oracleRig(t, ops, len(ops)))
+	if _, err := os.Stat(vacuumMarkerPath(dir, "orders")); !os.IsNotExist(err) {
+		t.Errorf("stale marker not swept: %v", err)
+	}
+}

@@ -164,6 +164,17 @@ func Load(cfg Config) (*Engine, error) {
 			closeAll()
 			return nil, err
 		}
+		// A vacuum-commit marker means a vacuum crashed after swapping
+		// its rewritten page file into place but before republishing the
+		// catalog. The swapped file is complete and synced at exactly the
+		// marker's extent; accept it rather than refusing (smaller file)
+		// or truncating a vacuumed file as surplus (larger catalog
+		// count). A marker whose count does not match the file predates
+		// the swap and is ignored.
+		if mp, ok := readVacuumMarker(cfg.DataDir, tm.Name); ok && fs.NumPages() == mp && tm.NumPages != mp {
+			tm.NumPages = mp
+			e.recovery.VacuumRepairs++
+		}
 		lt := &loadingTable{tm: tm, schema: schema, fs: fs, pages: tm.NumPages}
 		loading = append(loading, lt)
 		byName[tm.Name] = lt
@@ -294,8 +305,10 @@ func Load(cfg Config) (*Engine, error) {
 		}
 	}
 
-	// Make the recovered state durable and reclaim the log; also covers
-	// the WAL-disabled path, where it rewrites the catalog at LSN 0.
+	// Make the recovered state durable and reclaim the log. The
+	// WAL-disabled path rewrites the catalog snapshot instead, so
+	// repairs made above — truncated tails, vacuum-commit extents — are
+	// published rather than re-derived (or refused) on the next Load.
 	if e.wal != nil {
 		if err := e.checkpoint(); err != nil {
 			ce := e.Close()
@@ -303,6 +316,18 @@ func Load(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("engine: post-recovery checkpoint: %w", err)
 		}
 		e.startCheckpointer()
+	} else {
+		if err := e.Save(); err != nil {
+			ce := e.Close()
+			_ = ce
+			return nil, fmt.Errorf("engine: post-recovery save: %w", err)
+		}
+	}
+	// The catalog now names every table's true extent; retire any
+	// vacuum-commit markers (consumed above, or stale from a vacuum
+	// whose catalog update did land).
+	for _, lt := range loading {
+		removeVacuumMarker(cfg.DataDir, lt.tm.Name)
 	}
 	return e, nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,93 @@ import (
 	"repro/internal/heap"
 	"repro/internal/storage"
 )
+
+// vacuumMarker is the durable commit record a file-backed vacuum writes
+// just before renaming the rewritten page file into place. Until the
+// catalog is republished, the marker is what tells Load that a page
+// file smaller than the catalog's extent is a complete vacuumed file,
+// not corruption — without it, a crash in that window would make the
+// database permanently unopenable.
+type vacuumMarker struct {
+	Pages int `json:"pages"`
+}
+
+func vacuumMarkerPath(dataDir, table string) string {
+	return filepath.Join(dataDir, table+".vacuum-commit")
+}
+
+// writeVacuumMarker persists the marker durably (fsync file, then dir).
+func writeVacuumMarker(dataDir, table string, pages int) error {
+	data, err := json.Marshal(vacuumMarker{Pages: pages})
+	if err != nil {
+		return fmt.Errorf("engine: vacuum marker: %w", err)
+	}
+	path := vacuumMarkerPath(dataDir, table)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: vacuum marker: %w", err)
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = syncDirPath(dataDir)
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("engine: vacuum marker: %w", err)
+	}
+	return nil
+}
+
+// readVacuumMarker returns the marker's page count if a well-formed
+// marker exists. A missing or torn marker reads as absent: the marker is
+// only meaningful once fully durable, and a torn one means the crash
+// happened before the file swap, when the old state was still valid.
+func readVacuumMarker(dataDir, table string) (pages int, ok bool) {
+	data, err := os.ReadFile(vacuumMarkerPath(dataDir, table))
+	if err != nil {
+		return 0, false
+	}
+	var m vacuumMarker
+	if json.Unmarshal(data, &m) != nil || m.Pages < 0 {
+		return 0, false
+	}
+	return m.Pages, true
+}
+
+// removeVacuumMarker retires a marker, best-effort: a marker that
+// outlives its catalog update is ignored by Load's consistency check
+// and swept on the next successful recovery.
+func removeVacuumMarker(dataDir, table string) {
+	if dataDir == "" {
+		return
+	}
+	if err := os.Remove(vacuumMarkerPath(dataDir, table)); err == nil {
+		_ = syncDirPath(dataDir)
+	}
+}
+
+// syncDirPath fsyncs a directory so renames and removals inside it are
+// durable.
+func syncDirPath(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("engine: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("engine: sync dir: %w", err)
+	}
+	return nil
+}
 
 // Vacuum rewrites the table's heap densely — live tuples packed into
 // fresh pages with no dead slots — and rebuilds every partial index and
@@ -24,10 +112,10 @@ import (
 func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
 	// On WAL-backed engines, drain the log first: records appended
 	// before the vacuum carry images of the old page layout, and redoing
-	// them onto the rewritten file would smear garbage. The closing
-	// checkpoint then aligns the catalog with the swapped file. A crash
-	// between the file swap and that final checkpoint is detected at
-	// Load (page counts disagree) rather than silently corrupting.
+	// them onto the rewritten file would smear garbage. The catalog is
+	// republished after the swap; until that lands, the on-disk
+	// vacuum-commit marker written just before the rename is what lets
+	// Load accept the swapped file's smaller extent after a crash.
 	if err := t.engine.checkpointIfWAL(); err != nil {
 		return 0, 0, fmt.Errorf("engine: checkpoint before vacuum of %s: %w", t.name, err)
 	}
@@ -35,9 +123,18 @@ func (t *Table) Vacuum() (pagesBefore, pagesAfter int, err error) {
 	if err != nil {
 		return pagesBefore, pagesAfter, err
 	}
-	if err := t.engine.checkpointIfWAL(); err != nil {
-		return pagesBefore, pagesAfter, fmt.Errorf("engine: checkpoint after vacuum of %s: %w", t.name, err)
+	if t.engine.wal != nil {
+		if err := t.engine.checkpoint(); err != nil {
+			return pagesBefore, pagesAfter, fmt.Errorf("engine: checkpoint after vacuum of %s: %w", t.name, err)
+		}
+	} else if t.engine.cfg.DataDir != "" {
+		// Snapshot-only engines have the same crash window between the
+		// file swap and the next Save; publish the catalog now.
+		if err := t.engine.Save(); err != nil {
+			return pagesBefore, pagesAfter, fmt.Errorf("engine: save after vacuum of %s: %w", t.name, err)
+		}
 	}
+	removeVacuumMarker(t.engine.cfg.DataDir, t.name)
 	return pagesBefore, pagesAfter, nil
 }
 
@@ -101,12 +198,23 @@ func (t *Table) vacuum() (pagesBefore, pagesAfter int, err error) {
 			cleanupTmp()
 			return pagesBefore, 0, err
 		}
+		// Commit point: once the marker is durable, a crash anywhere up
+		// to the catalog republication resolves cleanly at Load — file
+		// still old (marker ignored) or file swapped (marker names its
+		// complete extent).
+		if err := writeVacuumMarker(t.engine.cfg.DataDir, t.name, newHeap.NumPages()); err != nil {
+			cleanupTmp()
+			return pagesBefore, 0, err
+		}
 		if old, ok := t.store.(interface{ Close() error }); ok {
 			_ = old.Close()
 		}
 		final := filepath.Join(t.engine.cfg.DataDir, t.name+".pages")
 		if err := os.Rename(tmpPath, final); err != nil {
 			cleanupTmp()
+			return pagesBefore, 0, fmt.Errorf("engine: vacuum swap of %s: %w", t.name, err)
+		}
+		if err := syncDirPath(t.engine.cfg.DataDir); err != nil {
 			return pagesBefore, 0, fmt.Errorf("engine: vacuum swap of %s: %w", t.name, err)
 		}
 	}

@@ -71,6 +71,10 @@ type RecoveryStats struct {
 	// past the catalog's extent — an append that never reached a durable
 	// checkpoint or log record.
 	TruncatedPages int `json:"truncated_pages"`
+	// VacuumRepairs counts tables whose extent was taken from a
+	// vacuum-commit marker: a vacuum swapped its rewritten page file in
+	// but crashed before republishing the catalog.
+	VacuumRepairs int `json:"vacuum_repairs"`
 	// TornPageBytes counts partial-page bytes trimmed from page files;
 	// TornWALBytes counts bytes of a mid-write log record truncated from
 	// the final segment.

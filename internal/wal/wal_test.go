@@ -430,3 +430,161 @@ func TestCreateClearsStaleSegments(t *testing.T) {
 		t.Fatalf("stale log not cleared: %+v %v", info, err)
 	}
 }
+
+// TestCrashLoopReopenKeepsAcknowledgedRecords is the crash / restart /
+// no-appends / crash / restart sequence: the second Open lands on a
+// tail segment whose first LSN equals the resume point. A duplicate
+// w.segs entry there let TruncateTo read the duplicate as a successor
+// and unlink the live segment, so every later acknowledged commit went
+// to an unlinked inode and vanished on the next replay.
+func TestCrashLoopReopenKeepsAcknowledgedRecords(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	opts := Options{Policy: SyncAlways}
+	w, err := Create(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		lsn, err := w.Append(dmlRecord("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 1: replay, reopen, crash again without appending — the
+	// fresh tail segment stays empty with first LSN == next.
+	info, err := Replay(dir, 0, func(*Record) error { return nil })
+	if err != nil || info.Next != 4 {
+		t.Fatalf("replay 1: %+v %v", info, err)
+	}
+	w, err = Open(dir, opts, info.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 2: reopen at the same LSN, checkpoint-truncate at the
+	// replayed watermark, then append and acknowledge more records.
+	info, err = Replay(dir, 0, func(*Record) error { return nil })
+	if err != nil || info.Records != 3 || info.Next != 4 {
+		t.Fatalf("replay 2: %+v %v", info, err)
+	}
+	w, err = Open(dir, opts, info.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateTo(info.Next - 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		lsn, err := w.Append(dmlRecord("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no Close. The acknowledged records must be on disk.
+	var lsns []LSN
+	info, err = Replay(dir, 3, func(r *Record) error {
+		lsns = append(lsns, r.LSN)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 2 || lsns[0] != 4 || lsns[1] != 5 {
+		t.Fatalf("replay after crash loop delivered %v, want [4 5] (info %+v)", lsns, info)
+	}
+}
+
+// TestSyncDuringRotationNotSticky hammers explicit Syncs and group
+// commits against appends that constantly rotate segments. A Sync that
+// loses the race — its captured file is rotated away and closed before
+// the fsync — must not record the resulting ErrClosed as the sticky
+// syncErr: the rotation already made those bytes durable.
+func TestSyncDuringRotationNotSticky(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncBatch, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			lsn, err := w.Append(dmlRecord("t", i))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if err := w.Commit(lsn); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if err := w.Sync(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("sync/rotation race surfaced an error: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Replay(dir, 0, func(*Record) error { return nil })
+	if err != nil || info.Records != 300 {
+		t.Fatalf("replay: %+v %v", info, err)
+	}
+}
+
+// TestSyncNeverCommitReachesOSCache: SyncNever's contract is that a
+// committed record survives a process crash (only an OS crash may lose
+// it), so Commit must at least flush the user-space buffer.
+func TestSyncNeverCommitReachesOSCache(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.Append(dmlRecord("t", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close, no Sync. The record must be visible in the file.
+	var got int
+	info, err := Replay(dir, 0, func(*Record) error { got++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 || info.Last != 1 {
+		t.Fatalf("after SyncNever commit + process crash: %d records (info %+v), want 1", got, info)
+	}
+	w.Close()
+}

@@ -3,6 +3,7 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -213,6 +214,19 @@ func newWriter(dir string, opts Options, next LSN) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Drop tail segments that start at or past the resume point: they
+	// hold no acknowledged records (replay advances next past every
+	// valid LSN, so anything left in them is a torn tail). Reusing the
+	// same first-LSN file would also put a duplicate entry in w.segs,
+	// which TruncateTo would read as a successor and unlink the live
+	// segment — the crash / reopen-with-no-appends / crash loop case.
+	for len(segs) > 0 && segs[len(segs)-1].first >= next {
+		s := segs[len(segs)-1]
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("wal: remove stale tail segment: %w", err)
+		}
+		segs = segs[:len(segs)-1]
+	}
 	w.segs = segs
 	if err := w.openSegmentLocked(next); err != nil {
 		return nil, err
@@ -317,6 +331,17 @@ func (w *Writer) Commit(lsn LSN) error {
 	w.commits.Add(1)
 	switch w.opts.Policy {
 	case SyncNever:
+		// No fsync, but the policy's contract is "in the OS page cache":
+		// push the user-space buffer out so only an OS crash — not a mere
+		// process crash — can lose the record.
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.closed {
+			return fmt.Errorf("wal: writer is closed")
+		}
+		if err := w.buf.Flush(); err != nil {
+			return fmt.Errorf("wal: commit flush: %w", err)
+		}
 		return nil
 	case SyncAlways:
 		return w.Sync()
@@ -363,8 +388,20 @@ func (w *Writer) Sync() error {
 	f := w.f
 	w.mu.Unlock()
 
+	rotated := false
 	if err == nil {
-		err = f.Sync()
+		if serr := f.Sync(); serr != nil {
+			if errors.Is(serr, os.ErrClosed) {
+				// A concurrent Append rotated this segment away after mu
+				// was released. rotateLocked flushes and fsyncs before
+				// closing, and our own buffered bytes were flushed into f
+				// under mu above, so everything up to target is already
+				// durable — not a fault, and it must not poison syncErr.
+				rotated = true
+			} else {
+				err = serr
+			}
+		}
 	}
 	if err != nil {
 		werr := fmt.Errorf("wal: sync: %w", err)
@@ -374,9 +411,11 @@ func (w *Writer) Sync() error {
 		w.condMu.Unlock()
 		return werr
 	}
-	w.syncs.Add(1)
-	if d := w.opts.SyncDelay; d > 0 {
-		time.Sleep(d)
+	if !rotated {
+		w.syncs.Add(1)
+		if d := w.opts.SyncDelay; d > 0 {
+			time.Sleep(d)
+		}
 	}
 	// Monotonic advance; another Sync cannot be concurrent (syncMu).
 	if LSN(w.durable.Load()) < target {
