@@ -102,6 +102,11 @@ type Options struct {
 	// DisableIndexBuffer turns the contribution off (baseline mode):
 	// partial-index misses degrade to full scans.
 	DisableIndexBuffer bool
+	// DisableEpochReadPath turns the epoch-based lock-free read path off,
+	// forcing every query through the table RWMutex. Results and counters
+	// are identical either way; the flag exists as the RWMutex baseline
+	// arm of the contended-read benchmarks (cmd/aibench -epoch).
+	DisableEpochReadPath bool
 	// DataDir, when non-empty, stores table pages in real files under
 	// the directory instead of the in-memory simulated disk. Call Close
 	// to flush and release them.
@@ -386,7 +391,8 @@ func engineConfig(o Options) engine.Config {
 			DisplacementJitter: o.DisplacementJitter,
 			Seed:               o.Seed,
 		},
-		DisableIndexBuffer: o.DisableIndexBuffer,
+		DisableIndexBuffer:   o.DisableIndexBuffer,
+		DisableEpochReadPath: o.DisableEpochReadPath,
 		WAL: engine.WALConfig{
 			Disable:         o.WAL.Disable,
 			SyncPolicy:      o.WAL.Sync.policy(),
@@ -919,6 +925,17 @@ type WALStats = wal.Stats
 
 // WALStats reads the log writer's counters.
 func (db *DB) WALStats() WALStats { return db.eng.WALStats() }
+
+// EpochStats reports the epoch-based lock-free read path's health: the
+// reclamation domain's state (current epoch, pinned readers, retired
+// backlog, reclaimed total, reclamation lag) plus the fast-path
+// counters (queries served lock-free, attempts that fell back to the
+// locked path). A quiescent database reports a drained backlog; see
+// engine.EpochStats.
+type EpochStats = engine.EpochStats
+
+// EpochStats reads the epoch read-path statistics.
+func (db *DB) EpochStats() EpochStats { return db.eng.EpochStats() }
 
 // Rewarm replays the query tail recovered from the log through the
 // normal query path, so the volatile Index Buffers converge back toward

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -450,67 +451,116 @@ func TestOpenValidation(t *testing.T) {
 
 // BenchmarkParallelQuery measures index-hit read throughput at
 // increasing goroutine counts on a warm, fully index-covered workload —
-// the path that the per-table/per-buffer locking redesign moves off the
-// engine-wide exclusive lock. On a multi-core machine (GOMAXPROCS > 1)
-// throughput should scale with the goroutine count; the pre-redesign
-// engine serialized these queries behind one mutex.
+// the path the epoch-based read path takes off the per-table RWMutex.
+// The uncontended arms show reader-reader scaling; the contended arms
+// run one writer goroutine inserting throughout the read phase, the
+// convoy case: under the rwmutex arm (DisableEpochReadPath) every read
+// queues behind every commit's exclusive section, while the epoch arm's
+// hits never touch the lock. The gated version of the contended
+// comparison — with a synchronous WAL charging the writer real fsync
+// latency — is `aibench -epoch` (BENCH_epoch.json in CI); this
+// benchmark is the quick in-memory view of the same effect.
 func BenchmarkParallelQuery(b *testing.B) {
 	const (
 		numTables = 4
 		keyDomain = 100
 		rows      = 1000
 	)
-	db := MustOpen(Options{Seed: 1, PoolPages: 4096})
-	defer db.Close()
-	var tabs []*Table
-	for i := 0; i < numTables; i++ {
-		tb, err := db.CreateTable(fmt.Sprintf("t%d", i), Int64Column("k"), StringColumn("pad"))
-		if err != nil {
-			b.Fatal(err)
-		}
-		for j := 0; j < rows; j++ {
-			if _, err := tb.Insert(int64(j%keyDomain), fmt.Sprintf("p-%04d-%032d", j, j)); err != nil {
+	build := func(b *testing.B, disableEpoch bool) (*DB, []*Table) {
+		db := MustOpen(Options{Seed: 1, PoolPages: 4096, DisableEpochReadPath: disableEpoch})
+		var tabs []*Table
+		for i := 0; i < numTables; i++ {
+			tb, err := db.CreateTable(fmt.Sprintf("t%d", i), Int64Column("k"), StringColumn("pad"))
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		// Full coverage: every query is a partial-index hit, and the pool
-		// is large enough that the working set stays resident (warm).
-		if err := tb.CreatePartialRangeIndex("k", 0, keyDomain); err != nil {
-			b.Fatal(err)
-		}
-		// Warm the pool.
-		for k := 0; k < keyDomain; k++ {
-			if _, _, err := tb.Query("k", int64(k)); err != nil {
+			for j := 0; j < rows; j++ {
+				if _, err := tb.Insert(int64(j%keyDomain), fmt.Sprintf("p-%04d-%032d", j, j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Full coverage: every query is a partial-index hit, and the pool
+			// is large enough that the working set stays resident (warm).
+			if err := tb.CreatePartialRangeIndex("k", 0, keyDomain); err != nil {
 				b.Fatal(err)
 			}
+			// Warm the pool.
+			for k := 0; k < keyDomain; k++ {
+				if _, _, err := tb.Query("k", int64(k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tabs = append(tabs, tb)
 		}
-		tabs = append(tabs, tb)
+		return db, tabs
 	}
-
-	for _, g := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
-			b.ReportAllocs()
-			var wg sync.WaitGroup
-			per := b.N / g
-			if per == 0 {
-				per = 1
-			}
-			b.ResetTimer()
-			for w := 0; w < g; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					tb := tabs[w%numTables]
-					for i := 0; i < per; i++ {
-						key := int64((w*17 + i) % keyDomain)
-						if _, _, err := tb.Query("k", key); err != nil {
-							b.Error(err)
-							return
+	arms := []struct {
+		name         string
+		contended    bool
+		disableEpoch bool
+	}{
+		{"uncontended/epoch", false, false},
+		{"contended/epoch", true, false},
+		{"contended/rwmutex", true, true},
+	}
+	goroutines := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		goroutines = append(goroutines, n)
+	}
+	for _, arm := range arms {
+		db, tabs := build(b, arm.disableEpoch)
+		for _, g := range goroutines {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", arm.name, g), func(b *testing.B) {
+				b.ReportAllocs()
+				var (
+					stop    atomic.Bool
+					writes  int64
+					writeWG sync.WaitGroup
+				)
+				if arm.contended {
+					stop.Store(false)
+					writeWG.Add(1)
+					go func() {
+						defer writeWG.Done()
+						for n := 0; !stop.Load(); n++ {
+							tb := tabs[n%numTables]
+							if _, err := tb.Insert(int64(n%keyDomain), "w"); err != nil {
+								b.Error(err)
+								return
+							}
+							writes++
 						}
-					}
-				}(w)
-			}
-			wg.Wait()
-		})
+					}()
+				}
+				var wg sync.WaitGroup
+				per := b.N / g
+				if per == 0 {
+					per = 1
+				}
+				b.ResetTimer()
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						tb := tabs[w%numTables]
+						for i := 0; i < per; i++ {
+							key := int64((w*17 + i) % keyDomain)
+							if _, _, err := tb.Query("k", key); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if arm.contended {
+					stop.Store(true)
+					writeWG.Wait()
+					b.ReportMetric(float64(writes), "writer_commits")
+				}
+			})
+		}
+		db.Close()
 	}
 }

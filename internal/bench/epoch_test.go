@@ -1,0 +1,66 @@
+package bench
+
+import "testing"
+
+// TestEpochSpeedup runs the contended-read benchmark at a reduced size
+// and holds it to the acceptance criterion: the epoch read path ≥ 2×
+// the RWMutex baseline with a synchronous writer active.
+func TestEpochSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive benchmark")
+	}
+	r, err := RunEpoch(Options{Queries: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("%v (result: %+v)", err, r)
+	}
+	t.Logf("speedup %.2fx (epoch %.0f reads/sec vs rwmutex %.0f reads/sec, %d/%d writer commits)",
+		r.ReadSpeedup, r.arm("epoch").ReadsPerSec, r.arm("rwmutex").ReadsPerSec,
+		r.arm("epoch").Writes, r.arm("rwmutex").Writes)
+}
+
+// TestEpochCompareBaseline covers the gate's regression arms.
+func TestEpochCompareBaseline(t *testing.T) {
+	base := &EpochResult{
+		ReadSpeedup: 10,
+		Arms: []EpochArmResult{
+			{Arm: "rwmutex"},
+			{Arm: "epoch", Reads: 100, FastHits: 100},
+		},
+	}
+	good := &EpochResult{
+		ReadSpeedup: 8,
+		Arms: []EpochArmResult{
+			{Arm: "rwmutex"},
+			{Arm: "epoch", Reads: 100, FastHits: 98},
+		},
+	}
+	if msgs := good.CompareBaseline(base); len(msgs) != 0 {
+		t.Fatalf("good run flagged: %v", msgs)
+	}
+	slow := &EpochResult{
+		ReadSpeedup: 3, // above the criterion, but under half the baseline
+		Arms: []EpochArmResult{
+			{Arm: "rwmutex"},
+			{Arm: "epoch", Reads: 100, FastHits: 95},
+		},
+	}
+	if msgs := slow.CompareBaseline(base); len(msgs) == 0 {
+		t.Fatal("regressed run passed the gate")
+	}
+	locked := &EpochResult{
+		ReadSpeedup: 9,
+		Arms: []EpochArmResult{
+			{Arm: "rwmutex"},
+			{Arm: "epoch", Reads: 100, FastHits: 50},
+		},
+	}
+	if msgs := locked.CompareBaseline(base); len(msgs) == 0 {
+		t.Fatal("a run whose reads were not lock-free passed the gate")
+	}
+	if msgs := good.CompareBaseline(nil); len(msgs) == 0 {
+		t.Fatal("missing baseline passed the gate")
+	}
+}

@@ -1,0 +1,242 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func pv(i int64) storage.Value { return storage.Int64Value(i) }
+
+func prid(p, s int) storage.RID {
+	return storage.RID{Page: storage.PageID(p), Slot: uint16(s)}
+}
+
+// dumpP flattens a persistent tree into (key, rids...) sequences.
+func dumpP(t *PTree) []string {
+	var out []string
+	t.Ascend(func(k storage.Value, post []storage.RID) bool {
+		s := k.String()
+		for _, r := range post {
+			s += "|" + r.String()
+		}
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// dumpM does the same for the mutable tree.
+func dumpM(t *Tree) []string {
+	var out []string
+	t.Ascend(func(k storage.Value, post []storage.RID) bool {
+		s := k.String()
+		for _, r := range post {
+			s += "|" + r.String()
+		}
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+func equalDump(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPTreeMatchesTree runs the same randomized insert/delete stream
+// through both implementations and diffs contents, counters and range
+// scans after every operation.
+func TestPTreeMatchesTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mt := New(4) // tiny order forces deep trees, splits and prunes
+	pt := NewPTree(4)
+
+	type pair struct {
+		k storage.Value
+		r storage.RID
+	}
+	var live []pair
+
+	for op := 0; op < 4000; op++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			k := pv(int64(rng.Intn(60)))
+			r := prid(rng.Intn(20), rng.Intn(8))
+			ma := mt.Insert(k, r)
+			var pa bool
+			pt, pa = pt.Insert(k, r)
+			if ma != pa {
+				t.Fatalf("op %d: insert added mutable=%v persistent=%v", op, ma, pa)
+			}
+			if ma {
+				live = append(live, pair{k, r})
+			}
+		} else {
+			i := rng.Intn(len(live))
+			p := live[i]
+			mr := mt.Delete(p.k, p.r)
+			var pr bool
+			pt, pr = pt.Delete(p.k, p.r)
+			if mr != pr {
+				t.Fatalf("op %d: delete removed mutable=%v persistent=%v", op, mr, pr)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+
+		if mt.EntryCount() != pt.EntryCount() || mt.Len() != pt.Len() {
+			t.Fatalf("op %d: entries %d/%d distinct %d/%d",
+				op, mt.EntryCount(), pt.EntryCount(), mt.Len(), pt.Len())
+		}
+		if op%97 == 0 {
+			if !equalDump(dumpM(mt), dumpP(pt)) {
+				t.Fatalf("op %d: contents diverged", op)
+			}
+			lo, hi := pv(int64(rng.Intn(40))), pv(int64(20+rng.Intn(40)))
+			var mscan, pscan []string
+			mt.AscendRange(lo, hi, func(k storage.Value, post []storage.RID) bool {
+				mscan = append(mscan, k.String())
+				return true
+			})
+			pt.AscendRange(lo, hi, func(k storage.Value, post []storage.RID) bool {
+				pscan = append(pscan, k.String())
+				return true
+			})
+			if !equalDump(mscan, pscan) {
+				t.Fatalf("op %d: range [%v,%v] diverged: %v vs %v", op, lo, hi, mscan, pscan)
+			}
+			if mt.Min().String() != pt.Min().String() || mt.Max().String() != pt.Max().String() {
+				t.Fatalf("op %d: min/max diverged", op)
+			}
+		}
+	}
+}
+
+// TestPTreePersistence checks path copying: a snapshot taken before a
+// batch of mutations is bit-for-bit unchanged afterwards.
+func TestPTreePersistence(t *testing.T) {
+	pt := NewPTree(4)
+	for i := 0; i < 200; i++ {
+		pt, _ = pt.Insert(pv(int64(i%37)), prid(i%11, i%5))
+	}
+	before := dumpP(pt)
+	entries, distinct := pt.EntryCount(), pt.Len()
+
+	mutated := pt
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			mutated, _ = mutated.Insert(pv(int64(100+i)), prid(i%7, i%3))
+		} else {
+			mutated, _ = mutated.Delete(pv(int64(i%37)), prid(i%11, i%5))
+		}
+	}
+	if equalDump(before, dumpP(mutated)) {
+		t.Fatal("mutations had no effect")
+	}
+	if !equalDump(before, dumpP(pt)) {
+		t.Fatal("snapshot changed under mutation: path copying is broken")
+	}
+	if pt.EntryCount() != entries || pt.Len() != distinct {
+		t.Fatal("snapshot counters changed under mutation")
+	}
+}
+
+// TestPTreeDeleteToEmpty drains a tree through the no-rebalance delete
+// path, exercising cascading prunes down to the nil root.
+func TestPTreeDeleteToEmpty(t *testing.T) {
+	pt := NewPTree(4)
+	const n = 300
+	for i := 0; i < n; i++ {
+		pt, _ = pt.Insert(pv(int64(i)), prid(i, 0))
+	}
+	for i := n - 1; i >= 0; i-- {
+		var ok bool
+		pt, ok = pt.Delete(pv(int64(i)), prid(i, 0))
+		if !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+		if pt.EntryCount() != i {
+			t.Fatalf("entries = %d after deleting down to %d", pt.EntryCount(), i)
+		}
+	}
+	if pt.Height() != 0 || pt.Len() != 0 {
+		t.Fatalf("drained tree: height %d distinct %d", pt.Height(), pt.Len())
+	}
+	if pt.Lookup(pv(3)) != nil {
+		t.Fatal("lookup on drained tree")
+	}
+	pt, ok := pt.Insert(pv(9), prid(1, 1))
+	if !ok || pt.EntryCount() != 1 {
+		t.Fatal("reinsert after drain failed")
+	}
+}
+
+// TestPTreeDuplicateSemantics mirrors the mutable tree's posting-list
+// rules: duplicate pairs are no-ops, same-key rids accumulate in RID
+// order.
+func TestPTreeDuplicateSemantics(t *testing.T) {
+	pt := NewPTreeDefault()
+	pt, a1 := pt.Insert(pv(7), prid(3, 1))
+	pt, a2 := pt.Insert(pv(7), prid(1, 2))
+	pt, a3 := pt.Insert(pv(7), prid(3, 1)) // duplicate
+	if !a1 || !a2 || a3 {
+		t.Fatalf("added = %v %v %v", a1, a2, a3)
+	}
+	post := pt.Lookup(pv(7))
+	if len(post) != 2 || !post[0].Less(post[1]) {
+		t.Fatalf("posting = %v, want 2 rids in order", post)
+	}
+	if !pt.Contains(pv(7), prid(1, 2)) || pt.Contains(pv(7), prid(9, 9)) {
+		t.Fatal("contains wrong")
+	}
+	if pt.EntryCount() != 2 || pt.Len() != 1 {
+		t.Fatalf("entries=%d distinct=%d", pt.EntryCount(), pt.Len())
+	}
+}
+
+// TestPBulkMatchesIncremental cross-checks bulk construction against
+// one-at-a-time inserts and against the mutable Bulk.
+func TestPBulkMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var entries []Entry
+	for i := 0; i < 1500; i++ {
+		entries = append(entries, Entry{Key: pv(int64(rng.Intn(200))), RID: prid(rng.Intn(40), rng.Intn(6))})
+	}
+	// Bulk sorts its input in place; give each builder its own copy.
+	bulkP := PBulk(8, append([]Entry(nil), entries...))
+	bulkM := Bulk(8, append([]Entry(nil), entries...))
+	inc := NewPTree(8)
+	for _, e := range entries {
+		inc, _ = inc.Insert(e.Key, e.RID)
+	}
+	if bulkP.EntryCount() != inc.EntryCount() || bulkP.Len() != inc.Len() {
+		t.Fatalf("bulk entries=%d distinct=%d, incremental %d/%d",
+			bulkP.EntryCount(), bulkP.Len(), inc.EntryCount(), inc.Len())
+	}
+	if !equalDump(dumpP(bulkP), dumpP(inc)) {
+		t.Fatal("bulk and incremental contents diverged")
+	}
+	if !equalDump(dumpP(bulkP), dumpM(bulkM)) {
+		t.Fatal("persistent and mutable bulk contents diverged")
+	}
+}
+
+func TestPBulkEmpty(t *testing.T) {
+	pt := PBulk(4, nil)
+	if pt.EntryCount() != 0 || pt.Height() != 0 {
+		t.Fatal("empty bulk not empty")
+	}
+	pt.Ascend(func(storage.Value, []storage.RID) bool {
+		t.Fatal("ascend on empty tree called fn")
+		return false
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -56,7 +57,65 @@ type IndexBuffer struct {
 	// space.mu, not b.mu (victim selection runs under space.mu).
 	scanPins int
 
+	// snap is the published counter snapshot: an immutable copy of the
+	// effective counter array C[p], swapped wholesale at every
+	// consistent boundary (page completion, DML maintenance,
+	// displacement, reset — never mid-page). Lock-free consumers (the
+	// indexing scan's skip decisions) read it inside an epoch
+	// Pin/Unpin bracket; the displaced snapshot is retired through the
+	// Space's epoch domain and reclaimed only once every such reader
+	// has unpinned. See publishCountersLocked.
+	snap atomic.Pointer[CounterSnap]
+
 	hist *History
+}
+
+// CounterSnap is one immutable published copy of a buffer's effective
+// counters. Pages beyond the array read as 0, matching Counter's
+// convention for unknown pages.
+type CounterSnap struct {
+	counters []int32
+}
+
+// At returns the snapshot's C[p].
+func (s *CounterSnap) At(p storage.PageID) int {
+	if s == nil || int(p) >= len(s.counters) {
+		return 0
+	}
+	return int(s.counters[p])
+}
+
+// NumPages returns the snapshot's counter-array size.
+func (s *CounterSnap) NumPages() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.counters)
+}
+
+// CounterSnapshot returns the buffer's current published counter
+// snapshot without taking any lock. Callers that outlive a single
+// load — an indexing scan consulting the snapshot page by page — must
+// hold an epoch pin on the Space's domain for as long as they read it;
+// reclamation nils the displaced array once every pinned reader left.
+func (b *IndexBuffer) CounterSnapshot() *CounterSnap { return b.snap.Load() }
+
+// publishCountersLocked copies the effective counter array into a fresh
+// snapshot and swaps it in, retiring the displaced one through the
+// epoch domain. Called under b.mu at every consistent boundary; the
+// copy is O(pages), the same cost class as the maintenance walks that
+// precede it.
+func (b *IndexBuffer) publishCountersLocked() {
+	c := make([]int32, len(b.uncovered))
+	for p := range b.uncovered {
+		if _, buffered := b.byPage[storage.PageID(p)]; !buffered {
+			c[p] = int32(b.uncovered[p])
+		}
+	}
+	old := b.snap.Swap(&CounterSnap{counters: c})
+	if old != nil && b.space != nil && b.space.epochs != nil {
+		b.space.epochs.Retire(func() { old.counters = nil })
+	}
 }
 
 // Name returns the buffer's identifier (typically "table.column").
@@ -105,6 +164,7 @@ func (b *IndexBuffer) NumPages() int {
 func (b *IndexBuffer) GrowPages(numPages int) {
 	b.mu.Lock()
 	b.growPagesLocked(numPages)
+	b.publishCountersLocked()
 	b.mu.Unlock()
 }
 
@@ -413,7 +473,23 @@ func (b *IndexBuffer) ApplyPage(p storage.PageID, entries []PageEntry) error {
 	if added > 0 {
 		b.charge(added)
 	}
+	b.publishCountersLocked()
 	return nil
+}
+
+// FinishPage publishes a fresh counter snapshot after the serial
+// BeginPage/AddEntry loop completes page p — the point where C[p]
+// becomes 0 for lock-free skip decisions. BeginPage deliberately does
+// not publish: between BeginPage and FinishPage the page is buffered
+// but possibly half-inserted, and only the locked probe path (which
+// sees the all-or-nothing partition state under b.mu) may treat it as
+// covered.
+func (b *IndexBuffer) FinishPage(p storage.PageID) {
+	b.mu.Lock()
+	if _, ok := b.byPage[p]; ok {
+		b.publishCountersLocked()
+	}
+	b.mu.Unlock()
 }
 
 // PageEntry records one entry inserted for a page during an indexing
@@ -447,6 +523,7 @@ func (b *IndexBuffer) AbortPage(p storage.PageID, added []PageEntry) {
 	if len(part.pages) == 0 {
 		b.dropPartitionLocked(part)
 	}
+	b.publishCountersLocked()
 }
 
 // dropPartition removes part from the buffer: its pages lose their
@@ -472,6 +549,7 @@ func (b *IndexBuffer) dropPartitionLocked(part *Partition) {
 func (b *IndexBuffer) dropPartition(part *Partition) {
 	b.mu.Lock()
 	b.dropPartitionLocked(part)
+	b.publishCountersLocked()
 	b.mu.Unlock()
 }
 
@@ -484,4 +562,5 @@ func (b *IndexBuffer) Reset() {
 	for len(b.parts) > 0 {
 		b.dropPartitionLocked(b.parts[0])
 	}
+	b.publishCountersLocked()
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/epoch"
 	"repro/internal/storage"
 )
 
@@ -24,6 +25,18 @@ import (
 type Space struct {
 	cfg  Config
 	used atomic.Int64 // total entries across all buffers
+
+	// clock is the global query clock behind every buffer's LRU-K
+	// history (see History): one atomic increment per query replaces
+	// the old under-mutex walk of every buffer, so OnQuery is safe from
+	// the engine's lock-free read path.
+	clock atomic.Uint64
+
+	// epochs, when set, receives the counter snapshots that buffer
+	// mutations displace (publishCountersLocked); nil means retired
+	// snapshots are simply dropped for the garbage collector. Set once
+	// at engine construction, before any traffic.
+	epochs *epoch.Domain
 
 	mu      sync.Mutex
 	buffers map[string]*IndexBuffer
@@ -56,6 +69,30 @@ func (s *Space) SetObserver(o Observer) {
 	s.mu.Lock()
 	s.obs = o
 	s.mu.Unlock()
+}
+
+// SetEpochDomain attaches the epoch-reclamation domain that receives
+// retired counter snapshots. Must be called before any buffer traffic
+// (the engine does it at construction); the field is read without
+// synchronization afterwards.
+func (s *Space) SetEpochDomain(d *epoch.Domain) { s.epochs = d }
+
+// EpochDomain returns the attached epoch domain, nil when none.
+func (s *Space) EpochDomain() *epoch.Domain { return s.epochs }
+
+// PinEpoch pins the Space's epoch domain and returns the unpin
+// function. Any reader that holds a CounterSnap (or other
+// epoch-retired object) across more than one instant must bracket the
+// use with PinEpoch — an indexing scan consulting its scan-start
+// snapshot page by page, the engine's lock-free probe path — or
+// reclamation may nil the snapshot out from under it. A no-op when no
+// domain is attached.
+func (s *Space) PinEpoch() func() {
+	if s.epochs == nil {
+		return func() {}
+	}
+	g := s.epochs.Pin()
+	return g.Unpin
 }
 
 // SpaceStats counts management activity. CrossTenantEntriesDropped is
@@ -126,8 +163,9 @@ func (s *Space) CreateBufferFor(name string, uncovered []int, tenant *Tenant) (*
 		tenant:    tenant,
 		uncovered: append([]int(nil), uncovered...),
 		byPage:    make(map[storage.PageID]*Partition),
-		hist:      NewHistory(s.cfg.K),
+		hist:      newHistory(s.cfg.K, &s.clock),
 	}
+	b.publishCountersLocked() // b is unshared here; no lock needed yet
 	s.buffers[name] = b
 	s.order = append(s.order, name)
 	return b, nil
@@ -179,16 +217,17 @@ func (s *Space) Buffers() []*IndexBuffer {
 // the column has no buffer); partialHit reports whether the partial index
 // answered the query. Only an actual buffer use — a miss on the queried
 // column — closes that buffer's running interval.
+//
+// The common case — a hit, or a query on an unbuffered column — is one
+// atomic increment of the shared query clock and takes no lock at all
+// (every history derives its running interval from the clock), which is
+// what the engine's epoch-based read path relies on. A use additionally
+// touches the used buffer's History mutex; uses are misses, which hold
+// the owning table's write lock anyway.
 func (s *Space) OnQuery(queried *IndexBuffer, partialHit bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, n := range s.order {
-		b := s.buffers[n]
-		if b == queried && !partialHit {
-			b.hist.Use()
-		} else {
-			b.hist.Tick()
-		}
+	g := s.clock.Add(1)
+	if queried != nil && !partialHit {
+		queried.hist.useAt(g)
 	}
 }
 

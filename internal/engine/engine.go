@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/exec"
 	"repro/internal/heap"
 	"repro/internal/index"
@@ -65,6 +66,12 @@ type Config struct {
 	// index misses degrade to full table scans. This is the paper's
 	// baseline system.
 	DisableIndexBuffer bool
+
+	// DisableEpochReadPath forces every query through the table-lock
+	// read path, turning the epoch-based lock-free hit path off. The
+	// benchmark's RWMutex baseline arm; results are identical either
+	// way (see readpath.go).
+	DisableEpochReadPath bool
 
 	// DataDir, when non-empty, backs each table with a real file
 	// (<DataDir>/<table>.pages) instead of the in-memory simulated disk.
@@ -108,6 +115,12 @@ type Engine struct {
 	tables   map[string]*Table
 	tracer   *trace.Tracer
 	timeline *timeline.Recorder
+
+	// Epoch-based read path (readpath.go): the reclamation domain every
+	// retired snapshot goes through, and the fast-path counters.
+	epochs        *epoch.Domain
+	fastHits      atomic.Uint64
+	fastFallbacks atomic.Uint64
 
 	sharedScans   metrics.SharedScanCounters
 	parallelScans metrics.ParallelScanCounters
@@ -185,7 +198,11 @@ func newEngine(cfg Config) *Engine {
 		tables:   make(map[string]*Table),
 		tracer:   trace.New(traceCapacity),
 		timeline: timeline.New(cfg.TimelineCapacity, cfg.ConvergenceTarget),
+		epochs:   epoch.NewDomain(),
 	}
+	// Retired counter snapshots flow through the engine's epoch domain,
+	// reclaimed only once every pinned reader has moved on.
+	e.space.SetEpochDomain(e.epochs)
 	// Route the Space's management events (Algorithm-2 page selection,
 	// displacement) into the tracer's span ring and the adaptation
 	// timeline; both consumers gate on their own atomic enable flag, so
@@ -322,6 +339,13 @@ type Table struct {
 	indexes map[int]*index.Partial    // by column ordinal
 	buffers map[int]*core.IndexBuffer // by column ordinal
 
+	// Epoch-based read path (readpath.go): seq is the table's seqlock —
+	// even at rest, odd strictly while a mutator changes reader-visible
+	// in-memory state (never across a WAL fsync); read is the published
+	// copy-on-write access-path state lock-free readers resolve against.
+	seq  atomic.Uint64
+	read atomic.Pointer[readState]
+
 	scans scanAdmission // per-column batching of concurrent miss queries
 }
 
@@ -383,6 +407,7 @@ func (e *Engine) createTable(tn *core.Tenant, name string, schema *storage.Schem
 		indexes: make(map[int]*index.Partial),
 		buffers: make(map[int]*core.IndexBuffer),
 	}
+	t.publishReadLocked() // t is unshared until the map insert below
 	e.tables[name] = t
 	return t, nil
 }
@@ -500,6 +525,9 @@ func (t *Table) createPartialIndex(column int, cov index.Coverage) error {
 	if err != nil {
 		return fmt.Errorf("engine: building index on %s: %w", t.bufferName(column), err)
 	}
+	t.beginMutate()
+	defer t.endMutate()
+	defer t.publishReadLocked()
 	t.indexes[column] = ix
 
 	if !t.engine.cfg.DisableIndexBuffer {
@@ -533,11 +561,14 @@ func (t *Table) dropIndex(column int) error {
 	if t.indexes[column] == nil {
 		return fmt.Errorf("engine: column %d of %s: %w", column, t.name, ErrNoIndex)
 	}
+	t.beginMutate()
+	defer t.endMutate()
 	delete(t.indexes, column)
 	if t.buffers[column] != nil {
 		t.engine.space.DropBuffer(t.bufferName(column))
 		delete(t.buffers, column)
 	}
+	t.publishReadLocked()
 	return nil
 }
 
@@ -565,6 +596,9 @@ func (t *Table) redefineIndex(column int, cov index.Coverage) error {
 	if ix == nil {
 		return fmt.Errorf("engine: column %d of %s: %w", column, t.name, ErrNoIndex)
 	}
+	t.beginMutate()
+	defer t.endMutate()
+	defer t.publishReadLocked()
 	if _, err := ix.Rebuild(cov, t.heap); err != nil {
 		return err
 	}
@@ -603,8 +637,10 @@ func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginMutate()
 	rid, err := t.heap.Insert(tu)
 	if err != nil {
+		t.endMutate()
 		return storage.InvalidRID, err
 	}
 	for col, ix := range t.indexes {
@@ -617,6 +653,11 @@ func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
 			b.MaintainInsert(v, rid, inIX)
 		}
 	}
+	// The seqlock window closes here, before the WAL append: the heap,
+	// indexes and buffers already carry the final state, so lock-free
+	// readers may proceed while this operation waits out its fsync —
+	// exactly the reader/writer convoy the epoch read path removes.
+	t.endMutate()
 	// The dirtied page is still resident (nothing fetched since the heap
 	// write), so the image capture is a pool hit; see wal.go for why the
 	// record must precede any eviction of that page.
@@ -648,7 +689,9 @@ func (t *Table) Delete(rid storage.RID) error {
 	if err != nil {
 		return err
 	}
+	t.beginMutate()
 	if err := t.heap.Delete(rid); err != nil {
+		t.endMutate()
 		return err
 	}
 	for col, ix := range t.indexes {
@@ -661,6 +704,7 @@ func (t *Table) Delete(rid storage.RID) error {
 			b.MaintainDelete(v, rid, wasInIX)
 		}
 	}
+	t.endMutate() // before the WAL append; see Insert
 	return t.logDML(wal.KindDelete, rid, storage.InvalidRID, rid.Page)
 }
 
@@ -695,8 +739,10 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 		}
 		defer t.pool.Unpin(oldFrame)
 	}
+	t.beginMutate()
 	newRID, err := t.heap.Update(rid, tu)
 	if err != nil {
+		t.endMutate()
 		return storage.InvalidRID, err
 	}
 	for col, ix := range t.indexes {
@@ -707,6 +753,7 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 			b.MaintainUpdate(oldV, newV, rid, newRID, oldIn, newIn)
 		}
 	}
+	t.endMutate() // before the WAL append; see Insert
 	if err := t.logDML(wal.KindUpdate, newRID, rid, rid.Page, newRID.Page); err != nil {
 		return newRID, err
 	}
@@ -762,6 +809,14 @@ func (t *Table) queryEqualCtx(ctx context.Context, column int, key storage.Value
 		return nil, exec.QueryStats{}, err
 	}
 
+	// Epoch-based lock-free hit path first; only probes the immutable
+	// snapshots cannot answer fall through to the lock (readpath.go).
+	if !t.engine.cfg.DisableEpochReadPath {
+		if m, stats, ok := t.fastEqual(column, key); ok {
+			return m, stats, nil
+		}
+	}
+
 	t.mu.RLock()
 	a, err := t.accessLocked(column)
 	if err != nil {
@@ -789,7 +844,7 @@ func (t *Table) runEqual(ctx context.Context, a exec.Access, column int, key sto
 	if err == nil {
 		t.engine.noteScanWorkers(stats)
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
-		t.sampleTimeline(column, stats, false)
+		t.sampleTimeline(column, stats, false, a.Buffer)
 	}
 	return matches, stats, err
 }
@@ -814,6 +869,12 @@ func (t *Table) QueryRangeCtx(ctx context.Context, column int, lo, hi storage.Va
 func (t *Table) queryRangeCtx(ctx context.Context, column int, lo, hi storage.Value) ([]exec.Match, exec.QueryStats, error) {
 	if err := t.engine.checkOpen(); err != nil {
 		return nil, exec.QueryStats{}, err
+	}
+
+	if !t.engine.cfg.DisableEpochReadPath {
+		if m, stats, ok := t.fastRange(column, lo, hi); ok {
+			return m, stats, nil
+		}
 	}
 
 	t.mu.RLock()
@@ -843,7 +904,7 @@ func (t *Table) runRange(ctx context.Context, a exec.Access, column int, lo, hi 
 	if err == nil {
 		t.engine.noteScanWorkers(stats)
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
-		t.sampleTimeline(column, stats, false)
+		t.sampleTimeline(column, stats, false, a.Buffer)
 	}
 	return matches, stats, err
 }
@@ -901,12 +962,15 @@ func (t *Table) accessLocked(column int) (exec.Access, error) {
 // sampleTimeline records one query boundary in the adaptation timeline:
 // the queried column's mechanism mix and buffer state, plus a resample
 // of any buffer dirtied by adaptive events (e.g. a displacement victim
-// on another table) since the last boundary. Called with the table lock
-// held, shared or exclusive — the timeline recorder's lock is a strict
-// leaf and dirty buffers are resolved through the Space (Table.mu →
-// Space.mu is the documented order). Gated on one atomic load, so the
-// disabled path allocates nothing.
-func (t *Table) sampleTimeline(column int, stats exec.QueryStats, follower bool) {
+// on another table) since the last boundary. buf is the queried
+// column's buffer as the caller resolved it — under the table lock
+// (t.buffers) or from a published readState (the lock-free hit path,
+// which holds no table lock at all). The timeline recorder's lock is a
+// strict leaf and dirty buffers are resolved through the Space
+// (Space.mu is below Table.mu in the documented order, and safe with
+// no table lock held). Gated on one atomic load, so the disabled path
+// allocates nothing.
+func (t *Table) sampleTimeline(column int, stats exec.QueryStats, follower bool, buf *core.IndexBuffer) {
 	tl := t.engine.timeline
 	if !tl.Enabled() {
 		return
@@ -925,5 +989,5 @@ func (t *Table) sampleTimeline(column int, stats exec.QueryStats, follower bool)
 	default:
 		mech = timeline.MechIndexingScan
 	}
-	tl.ObserveQuery(t.name, t.schema.Column(column).Name, mech, t.buffers[column], t.engine.space.Buffer)
+	tl.ObserveQuery(t.name, t.schema.Column(column).Name, mech, buf, t.engine.space.Buffer)
 }

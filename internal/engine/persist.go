@@ -289,6 +289,7 @@ func Load(cfg Config) (*Engine, error) {
 			indexes: make(map[int]*index.Partial),
 			buffers: make(map[int]*core.IndexBuffer),
 		}
+		t.publishReadLocked() // unshared until the map insert below
 		e.tables[lt.tm.Name] = t
 
 		for _, im := range lt.tm.Indexes {

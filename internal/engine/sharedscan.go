@@ -175,7 +175,7 @@ func (t *Table) runShared(a exec.Access, column int, attached []*attachedQuery) 
 			} else {
 				t.engine.tracer.RecordFollower(t.name, col, o.Stats)
 			}
-			t.sampleTimeline(column, o.Stats, i != 0)
+			t.sampleTimeline(column, o.Stats, i != 0, a.Buffer)
 		}
 	}
 }

@@ -144,6 +144,12 @@ func (t *Table) vacuum() (pagesBefore, pagesAfter int, err error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// The whole vacuum is one seqlock write window: the store/pool/heap
+	// swap and the index/buffer rebuilds below are far from atomic, and
+	// a lock-free reader racing them must retry (then fall back to the
+	// lock, where it waits the vacuum out like any reader did before).
+	t.beginMutate()
+	defer t.endMutate()
 
 	pagesBefore = t.heap.NumPages()
 
@@ -249,5 +255,6 @@ func (t *Table) vacuum() (pagesBefore, pagesAfter int, err error) {
 		}
 		t.buffers[col] = b
 	}
+	t.publishReadLocked() // readers must resolve against the new heap
 	return pagesBefore, t.heap.NumPages(), nil
 }

@@ -1,0 +1,220 @@
+// Package epoch implements epoch-based reclamation (EBR) for the
+// engine's lock-free read path. Mutators publish immutable snapshots
+// (counter arrays, index states) with a single atomic pointer swap and
+// hand the displaced snapshot to Retire; readers bracket every probe of
+// such a snapshot with Pin/Unpin. A retired snapshot is reclaimed only
+// once every reader that could still hold a reference has unpinned —
+// the classic three-epoch argument below — so readers never need a lock
+// and mutators never wait for readers.
+//
+// The domain keeps exactly three reader slots. A reader pinned at epoch
+// e registers in slot e%3. Advancing the global epoch from e to e+1 is
+// allowed only while slot (e+1)%3 is empty: that slot can only contain
+// readers pinned at e-2 (readers at e+1 cannot exist before the
+// advance), so each advance certifies that the generation three epochs
+// back has fully drained. An object retired at epoch r may therefore be
+// freed once the epoch reaches r+3:
+//
+//	advance r   -> r+1 required slot (r+1)%3 empty: no readers at r-2
+//	advance r+1 -> r+2 required slot (r+2)%3 empty: no readers at r-1
+//	advance r+2 -> r+3 required slot r%3     empty: no readers at r
+//
+// and readers pinned at epochs > r observed the new snapshot (the swap
+// happened before Retire). All counters use sync/atomic, whose
+// operations are sequentially consistent in Go; the reader's re-check
+// in Pin closes the window where a reader increments a slot the
+// advancer already inspected.
+package epoch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// slots is the number of reader generations tracked. Three is the
+// minimum that makes "slot empty" certify a whole generation drained
+// (see the package comment); more would only delay reclamation.
+const slots = 3
+
+// padded keeps each slot's counter on its own cache line so readers on
+// different cores do not false-share.
+type padded struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// retired is one snapshot awaiting reclamation.
+type retired struct {
+	epoch uint64
+	free  func()
+}
+
+// Stats is a point-in-time view of a domain's reclamation machinery.
+type Stats struct {
+	// Epoch is the current global epoch.
+	Epoch uint64 `json:"epoch"`
+	// Pinned is the number of readers currently inside a Pin/Unpin
+	// bracket (summed across generations; approximate under churn).
+	Pinned int64 `json:"pinned"`
+	// RetiredBacklog is the number of retired snapshots not yet
+	// reclaimed.
+	RetiredBacklog int `json:"retired_backlog"`
+	// Reclaimed counts snapshots freed since the domain was created.
+	Reclaimed uint64 `json:"reclaimed"`
+	// ReclamationLag is the age, in epochs, of the oldest retired
+	// snapshot still awaiting reclamation (0 when the limbo is empty).
+	ReclamationLag uint64 `json:"reclamation_lag"`
+}
+
+// Domain is one epoch-reclamation scope. The zero Domain is ready to
+// use; NewDomain exists for symmetry with the rest of the codebase.
+type Domain struct {
+	epoch  atomic.Uint64
+	active [slots]padded
+
+	mu        sync.Mutex
+	limbo     []retired
+	reclaimed atomic.Uint64
+}
+
+// NewDomain creates an empty domain at epoch 0.
+func NewDomain() *Domain { return &Domain{} }
+
+// Guard is an active reader registration. It must be released with
+// exactly one Unpin; the zero Guard is inert.
+type Guard struct {
+	d *Domain
+	e uint64
+}
+
+// Pin registers the caller as a reader of the current epoch. Snapshots
+// retired after Pin returns will not be reclaimed until Unpin. Pin
+// never blocks: the retry loop only runs when an advance races the
+// registration, and each retry observes a strictly newer epoch.
+func (d *Domain) Pin() Guard {
+	for {
+		e := d.epoch.Load()
+		s := &d.active[e%slots]
+		s.n.Add(1)
+		// Re-check: if the epoch moved while we registered, our
+		// increment may sit in a slot the advancer already certified
+		// empty. Undo and re-register under the new epoch.
+		if d.epoch.Load() == e {
+			return Guard{d: d, e: e}
+		}
+		s.n.Add(-1)
+	}
+}
+
+// Unpin releases the registration. When the reader was the last of its
+// generation it also attempts an epoch advance, so reclamation makes
+// progress even on read-only workloads.
+func (g Guard) Unpin() {
+	if g.d == nil {
+		return
+	}
+	if g.d.active[g.e%slots].n.Add(-1) == 0 {
+		g.d.tryAdvance()
+	}
+}
+
+// Retire schedules free to run once every reader pinned at or before
+// the current epoch has unpinned. The caller must have already
+// unlinked the snapshot (swapped the new one in) before retiring the
+// old one.
+func (d *Domain) Retire(free func()) {
+	e := d.epoch.Load()
+	d.mu.Lock()
+	d.limbo = append(d.limbo, retired{epoch: e, free: free})
+	d.mu.Unlock()
+	d.tryAdvance()
+}
+
+// Advance nudges the epoch forward as far as current readers permit and
+// reclaims everything that became safe — up to one full rotation, which
+// is enough to drain the limbo completely when no readers are pinned.
+// Stats accessors call it so backlog gauges read as "what is actually
+// still pinned down", not "what nobody has poked yet".
+func (d *Domain) Advance() {
+	for i := 0; i < slots; i++ {
+		d.tryAdvance()
+	}
+}
+
+// tryAdvance performs at most one epoch advance (when the incoming
+// generation's slot is drained) and then reclaims whatever the limbo
+// holds from three or more epochs back.
+func (d *Domain) tryAdvance() {
+	for {
+		e := d.epoch.Load()
+		if d.active[(e+1)%slots].n.Load() != 0 {
+			break // readers from e-2 still pinned; cannot rotate onto them
+		}
+		if d.epoch.CompareAndSwap(e, e+1) {
+			break
+		}
+		// Lost the race to another advancer; re-evaluate at the new epoch.
+	}
+	d.reclaim()
+}
+
+// reclaim frees limbo entries whose generation has provably drained.
+// Entries are not epoch-ordered (concurrent Retires interleave), so the
+// whole list is filtered, not prefix-scanned.
+func (d *Domain) reclaim() {
+	cur := d.epoch.Load()
+	d.mu.Lock()
+	var ready []retired
+	kept := d.limbo[:0]
+	for _, r := range d.limbo {
+		if cur >= r.epoch+slots {
+			ready = append(ready, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	d.limbo = kept
+	d.mu.Unlock()
+	for _, r := range ready {
+		if r.free != nil {
+			r.free()
+		}
+		d.reclaimed.Add(1)
+	}
+}
+
+// Stats returns the domain's current counters. It first lets the epoch
+// advance as far as live readers allow, so the backlog and lag reflect
+// genuine pins rather than scheduling noise.
+func (d *Domain) Stats() Stats {
+	d.Advance()
+	var pinned int64
+	for i := range d.active {
+		pinned += d.active[i].n.Load()
+	}
+	cur := d.epoch.Load()
+	d.mu.Lock()
+	backlog := len(d.limbo)
+	var lag uint64
+	for _, r := range d.limbo {
+		if age := cur - r.epoch; age > lag {
+			lag = age
+		}
+	}
+	d.mu.Unlock()
+	if pinned < 0 {
+		pinned = 0 // transient Pin-retry underflow in another generation's slot
+	}
+	return Stats{
+		Epoch:          cur,
+		Pinned:         pinned,
+		RetiredBacklog: backlog,
+		Reclaimed:      d.reclaimed.Load(),
+		ReclamationLag: lag,
+	}
+}
+
+// Gosched is a tiny indirection so callers in retry loops do not import
+// runtime just for this.
+func Gosched() { runtime.Gosched() }

@@ -160,6 +160,25 @@ func Equal(ctx context.Context, a Access, key storage.Value) ([]Match, QueryStat
 	return o.Matches, o.Stats, o.Err
 }
 
+// FetchHit materializes a partial-index hit from its posting list,
+// reproducing the hit path of ExecuteShared bit for bit: RIDs are
+// fetched in sorted order, PagesRead counts each distinct page once,
+// and the stats carry Key/PartialHit/Matches. rids may alias immutable
+// index state — it is copied before sorting. The engine's epoch-based
+// read path resolves a probe against an index snapshot and calls this
+// to materialize it without entering the shared-scan machinery; only
+// a.Table and a.Column are consulted, so a read-path Access with nil
+// Index/Buffer/Space is fine. Duration is left to the caller.
+func FetchHit(a Access, key storage.Value, rids []storage.RID) ([]Match, QueryStats, error) {
+	stats := QueryStats{Key: key, PartialHit: true}
+	m, err := fetchRIDs(a, rids, &stats, pageSet{})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Matches = len(m)
+	return m, stats, nil
+}
+
 // fetchRIDs materializes tuples for a posting list, page by page. Pages
 // are charged to stats through seen, so a page the query already fetched
 // in another stage is not double-counted.

@@ -31,12 +31,14 @@ import (
 // parallelism=1 — the property the serial-oracle harness in
 // parallel_test.go checks.
 //
-// Skip-safety: workers read C[p] concurrently, but the only C[p]
-// transitions during a scan are the ones this scan's merge performs
-// (the caller holds the table's write lock, and Space.PinForScan keeps
-// displacement away), and phase 2 starts strictly after every worker
-// has finished — so every worker sees the same counter table the serial
-// scan would, and a page's skip decision never races its own indexing.
+// Skip-safety: workers read the scan-start counter snapshot, which is
+// lock-free and trivially identical across workers. It also matches
+// what the serial loop would see live at every page's check: the only
+// C[p] transitions during a scan are the ones this scan's merge
+// performs (the caller holds the table's write lock, and
+// Space.PinForScan keeps displacement away), and phase 2 starts
+// strictly after every worker has finished — so a page's skip decision
+// never races its own indexing.
 //
 // Failure semantics differ from the serial path in one deliberate way:
 // a table-level fault or whole-batch cancellation in phase 1 aborts
@@ -72,6 +74,7 @@ type parallelScan struct {
 	states []scanState
 	scanQ  []int
 	inI    map[storage.PageID]bool // nil for a full scan
+	snap   *core.CounterSnap       // scan-start counters; nil for a full scan
 
 	results  []pageResult
 	canceled []atomic.Bool // by position in scanQ
@@ -83,13 +86,14 @@ type parallelScan struct {
 	err   error // first table-level fault
 }
 
-func newParallelScan(a Access, qs []SharedQuery, states []scanState, scanQ []int, inI map[storage.PageID]bool, numPages, workers int) *parallelScan {
+func newParallelScan(a Access, qs []SharedQuery, states []scanState, scanQ []int, inI map[storage.PageID]bool, snap *core.CounterSnap, numPages, workers int) *parallelScan {
 	return &parallelScan{
 		a:        a,
 		qs:       qs,
 		states:   states,
 		scanQ:    scanQ,
 		inI:      inI,
+		snap:     snap,
 		results:  make([]pageResult, numPages),
 		canceled: make([]atomic.Bool, len(scanQ)),
 		chunks:   heap.Chunks(numPages, workers*chunksPerWorker),
@@ -178,7 +182,7 @@ func (s *parallelScan) worker() {
 // candidate-entry collection for pages in I.
 func (s *parallelScan) scanOne(pg storage.PageID) error {
 	res := &s.results[pg]
-	if s.inI != nil && s.a.Buffer.Counter(pg) == 0 {
+	if s.inI != nil && s.snap.At(pg) == 0 {
 		res.skipped = true
 		return nil
 	}
@@ -246,7 +250,7 @@ func (s *parallelScan) mergeMatches(pg storage.PageID, res *pageResult, outs []S
 // Called after the FullScan flags are set; the merge performs no buffer
 // maintenance because there is no buffer.
 func parallelFullScan(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int, numPages, workers int) {
-	s := newParallelScan(a, qs, states, scanQ, nil, numPages, workers)
+	s := newParallelScan(a, qs, states, scanQ, nil, nil, numPages, workers)
 	if s.finish(s.run(workers), outs) {
 		return
 	}
@@ -262,8 +266,8 @@ func parallelFullScan(a Access, qs []SharedQuery, outs []SharedOutcome, states [
 // page-complete span events happen in ascending page order exactly as
 // in the serial loop. Returns the pages skipped, the entries added, and
 // whether the scan aborted.
-func parallelIndexingPass(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int, inI map[storage.PageID]bool, numPages, workers int) (skipped map[storage.PageID]bool, entriesAdded int, aborted bool) {
-	s := newParallelScan(a, qs, states, scanQ, inI, numPages, workers)
+func parallelIndexingPass(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int, inI map[storage.PageID]bool, snap *core.CounterSnap, numPages, workers int) (skipped map[storage.PageID]bool, entriesAdded int, aborted bool) {
+	s := newParallelScan(a, qs, states, scanQ, inI, snap, numPages, workers)
 	if s.finish(s.run(workers), outs) {
 		// Aborted in phase 1: no page was applied, the buffer is untouched.
 		return nil, 0, true

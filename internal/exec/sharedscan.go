@@ -245,6 +245,17 @@ func sharedFullScan(a Access, qs []SharedQuery, outs []SharedOutcome, states []s
 func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int) {
 	release := a.Space.PinForScan(a.Buffer)
 	defer release()
+	// The pass's C[p] == 0 skip decisions read the buffer's published
+	// counter snapshot instead of taking the buffer lock per page. The
+	// snapshot is taken once at scan start and stays valid for every
+	// page: the only mutator running (we hold the table's write lock and
+	// the buffer is pinned against displacement) is this scan itself,
+	// and it mutates a page's counter state only after that page's own
+	// skip check. The epoch pin keeps reclamation — triggered by this
+	// scan's own FinishPage/ApplyPage publications — from nilling the
+	// scan-start snapshot mid-pass.
+	unpinEpoch := a.Space.PinEpoch()
+	defer unpinEpoch()
 
 	numPages := a.Table.NumPages()
 	var selected []storage.PageID
@@ -291,13 +302,14 @@ func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states
 	// results and C[p] transitions are identical either way.
 	workers := a.scanWorkers(numPages)
 	outs[scanQ[0]].Stats.ScanWorkers = workers
+	snap := a.Buffer.CounterSnapshot()
 	var entriesAdded int
 	var skipped map[storage.PageID]bool
 	var aborted bool
 	if workers > 1 {
-		skipped, entriesAdded, aborted = parallelIndexingPass(a, qs, outs, states, scanQ, inI, numPages, workers)
+		skipped, entriesAdded, aborted = parallelIndexingPass(a, qs, outs, states, scanQ, inI, snap, numPages, workers)
 	} else {
-		skipped, entriesAdded, aborted = serialIndexingPass(a, qs, outs, states, scanQ, inI, numPages)
+		skipped, entriesAdded, aborted = serialIndexingPass(a, qs, outs, states, scanQ, inI, snap, numPages)
 	}
 
 	// Recover covered matches on skipped pages for range queries: a range
@@ -342,10 +354,13 @@ func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states
 // Algorithm 1 (lines 11–17): skip pages with C[p] == 0, index the
 // selected pages exactly once, demux matches to every attachee. It is
 // the oracle the parallel pass (parallel.go) must be bit-identical to.
-// Returns the pages skipped, the entries added, and whether the scan
-// aborted (fault, or every attachee canceled — the consistent prefix of
-// indexed pages is kept either way).
-func serialIndexingPass(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int, inI map[storage.PageID]bool, numPages int) (map[storage.PageID]bool, int, bool) {
+// Skip decisions read the scan-start counter snapshot — identical to
+// the live counters at each page's check, since this scan is the only
+// running mutator and touches a page's counter state only after the
+// check. Returns the pages skipped, the entries added, and whether the
+// scan aborted (fault, or every attachee canceled — the consistent
+// prefix of indexed pages is kept either way).
+func serialIndexingPass(a Access, qs []SharedQuery, outs []SharedOutcome, states []scanState, scanQ []int, inI map[storage.PageID]bool, snap *core.CounterSnap, numPages int) (map[storage.PageID]bool, int, bool) {
 	entriesAdded := 0
 	skipped := make(map[storage.PageID]bool)
 	aborted := false
@@ -355,7 +370,7 @@ func serialIndexingPass(a Access, qs []SharedQuery, outs []SharedOutcome, states
 			break
 		}
 		pg := storage.PageID(p)
-		if a.Buffer.Counter(pg) == 0 {
+		if snap.At(pg) == 0 {
 			skipped[pg] = true
 			for _, i := range scanQ {
 				if states[i].active {
@@ -406,8 +421,14 @@ func serialIndexingPass(a Access, qs []SharedQuery, outs []SharedOutcome, states
 			break
 		}
 		entriesAdded += len(added)
-		if indexThis && a.Span != nil {
-			a.Span("page-complete", int(pg), len(added))
+		if indexThis {
+			// The page's C[p] → 0 transition becomes visible to lock-free
+			// readers only now, with the entry set complete — BeginPage
+			// deliberately does not publish the half-inserted state.
+			a.Buffer.FinishPage(pg)
+			if a.Span != nil {
+				a.Span("page-complete", int(pg), len(added))
+			}
 		}
 	}
 	return skipped, entriesAdded, aborted

@@ -218,6 +218,16 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 		t.pool.Unpin(f)
 		return storage.InvalidRID, err
 	}
+	// Keep a copy of the current payload: the in-place attempt below may
+	// free the slot (and compact the old bytes away) before reporting
+	// that a relocation is needed, and a relocation that then fails must
+	// restore the tuple rather than leave it half-deleted.
+	oldRaw, err := sp.Tuple(int(rid.Slot))
+	if err != nil {
+		t.pool.Unpin(f)
+		return storage.InvalidRID, err
+	}
+	oldPayload := append([]byte(nil), oldRaw...)
 	ok, err := sp.Update(int(rid.Slot), payload)
 	t.freeHint[rid.Page] = sp.FreeSpace()
 	if err != nil {
@@ -230,7 +240,11 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 		return rid, nil
 	}
 	// Relocate: the slot was freed by the failed in-place attempt or must
-	// be freed now; ensure it is dead, then insert elsewhere.
+	// be freed now; ensure it is dead, then insert elsewhere. The old
+	// page stays pinned across the insert: its deletion is dirty and not
+	// yet logged, and the insert's probe walk is allowed to evict — an
+	// eviction here would write the half-mutated page to the store before
+	// the caller's WAL record exists, which a crash then exposes.
 	if sp.Live(int(rid.Slot)) {
 		if derr := sp.Delete(int(rid.Slot)); derr != nil {
 			t.pool.Unpin(f)
@@ -238,8 +252,20 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 		}
 	}
 	f.MarkDirty()
+	newRID, err := t.insertLocked(payload)
+	if err != nil {
+		// Undo: put the original tuple back into its slot so a failed
+		// update leaves no half-state — neither in memory (the RID must
+		// stay live with its old content) nor, via a later eviction of
+		// this dirty page, on disk.
+		if !sp.insertAt(int(rid.Slot), oldPayload) {
+			t.pool.Unpin(f)
+			return storage.InvalidRID, fmt.Errorf("heap: failed relocation of %v lost the tuple: %w", rid, err)
+		}
+		t.freeHint[rid.Page] = sp.FreeSpace()
+	}
 	t.pool.Unpin(f)
-	return t.insertLocked(payload)
+	return newRID, err
 }
 
 // PageLiveCount returns the number of live tuples in page p. It fetches

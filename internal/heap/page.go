@@ -216,6 +216,32 @@ func (p *SlottedPage) Insert(payload []byte) (slot int, ok bool) {
 	return slot, true
 }
 
+// insertAt places payload into the specific dead slot i. This is the
+// undo path for a failed relocation, which must restore the tuple under
+// its original RID — a plain Insert would pick the first dead slot,
+// not necessarily this one. The payload always fits when it is the
+// slot's previous occupant: deletion only grew the reclaimable space.
+func (p *SlottedPage) insertAt(i int, payload []byte) bool {
+	if i < 0 || i >= p.numSlots() || p.Live(i) {
+		return false
+	}
+	need := len(payload)
+	if p.contiguousFree() < need {
+		if p.contiguousFree()+p.deadSpace() < need {
+			return false
+		}
+		p.compact()
+		if p.contiguousFree() < need {
+			return false
+		}
+	}
+	start := p.dataStart() - need
+	copy(p.data[start:], payload)
+	p.setDataStart(start)
+	p.setSlot(i, start, need)
+	return true
+}
+
 // Delete marks slot i dead. The payload bytes are reclaimed lazily by
 // compaction.
 func (p *SlottedPage) Delete(i int) error {

@@ -1,0 +1,160 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// TestRelocatingUpdateKeepsOldPageResident is the torn-publication
+// regression test at the heap layer. A relocating update dirties the
+// old page (the slot dies) and then walks other pages looking for room;
+// under a small pool those probe fetches evict frames. The old page
+// must not be one of them: its mutation is not logged yet — the caller
+// captures its WAL image only after Update returns — so an eviction
+// here writes a half-published page to the store, exactly the state a
+// crash then exposes. Update therefore keeps the old page pinned across
+// the relocation insert.
+//
+// The walk only generates eviction pressure when free hints
+// overestimate (each over-hinted page is fetched, probed, and rejected).
+// Today's hint maintenance never overestimates, so the test plants
+// inflated hints directly — the invariant must hold by construction,
+// not by accident of the current hint policy.
+func TestRelocatingUpdateKeepsOldPageResident(t *testing.T) {
+	d := buffer.NewSimDisk()
+	pool, err := buffer.NewPool(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable(testSchema(), pool)
+
+	// The victim is small and lands on page 0; filler rows pack several
+	// pages tightly enough that a 3000-byte replacement fits nowhere.
+	victim, err := tb.Insert(row(1, "victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; tb.NumPages() < 6; i++ {
+		if _, err := tb.Insert(row(int64(i), strings.Repeat("f", 2400))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Top up the last page (inserts target it first) until no page has
+	// room for the replacement: the walk must visit everything and then
+	// allocate fresh.
+	for i := 0; tb.freeHint[tb.NumPages()-1] > 700; i++ {
+		if _, err := tb.Insert(row(int64(i), strings.Repeat("t", 600))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := tb.NumPages(); n != 6 {
+		t.Fatalf("top-up spilled to a new page (%d pages); adjust the filler sizes", n)
+	}
+	// Make the pre-update truth durable so the store copy of page 0 is
+	// meaningful, then inflate every hint: the relocation walk will now
+	// fetch and reject every page before allocating a fresh one.
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for p := range tb.freeHint {
+		tb.freeHint[p] = buffer.PageSize
+	}
+
+	newRID, err := tb.Update(victim, row(1, strings.Repeat("v", 3000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newRID.Page == victim.Page {
+		t.Fatalf("update did not relocate (stayed on page %d); the test exercised nothing", victim.Page)
+	}
+
+	// The store's copy of the old page must still be the pre-update
+	// image: the victim slot alive, the unlogged deletion never written.
+	raw := make([]byte, buffer.PageSize)
+	if err := d.Read(victim.Page, raw); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := AsPage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Live(int(victim.Slot)) {
+		t.Fatal("half-published relocation escaped to the store: the old page was evicted (and written) between the in-place delete and Update returning")
+	}
+
+	// The in-memory table, by contrast, has completed the move.
+	if _, err := tb.Get(victim); err == nil {
+		t.Error("old RID still live in memory after relocation")
+	}
+	got, err := tb.Get(newRID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value(1).Str() != strings.Repeat("v", 3000) {
+		t.Error("relocated tuple does not carry the updated payload")
+	}
+}
+
+// TestFailedRelocationRestoresTuple injects a store fault into the
+// middle of a relocating update — after the in-place attempt has freed
+// the slot, while the insert is walking other pages — and requires the
+// failed update to leave no trace: the tuple must still be readable at
+// its original RID with its original content. Without the undo, the
+// half-deleted page sits dirty in the pool and any later eviction
+// publishes the loss to the store.
+func TestFailedRelocationRestoresTuple(t *testing.T) {
+	fs := buffer.NewFaultStore(buffer.NewSimDisk())
+	pool, err := buffer.NewPool(fs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable(testSchema(), pool)
+
+	victim, err := tb.Insert(row(1, "victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; tb.NumPages() < 6; i++ {
+		if _, err := tb.Insert(row(int64(i), strings.Repeat("f", 2400))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; tb.freeHint[tb.NumPages()-1] > 700; i++ {
+		if _, err := tb.Insert(row(int64(i), strings.Repeat("t", 600))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := tb.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prime the victim page so the update's own fetch of it is a pool
+	// hit; with the hints inflated, the first store read then happens
+	// inside the relocation walk — strictly after the slot died.
+	if _, err := tb.Get(victim); err != nil {
+		t.Fatal(err)
+	}
+	for p := range tb.freeHint {
+		tb.freeHint[p] = buffer.PageSize
+	}
+	fs.SetReadsLeft(0)
+	_, err = tb.Update(victim, row(1, strings.Repeat("v", 3000)))
+	fs.SetReadsLeft(-1)
+	if err == nil {
+		t.Fatal("update succeeded; the fault never landed inside the relocation")
+	}
+
+	got, err := tb.Get(victim)
+	if err != nil {
+		t.Fatalf("tuple lost by the failed relocation: %v", err)
+	}
+	if got.Value(1).Str() != "victim" {
+		t.Errorf("tuple content changed by the failed relocation: %q", got.Value(1).Str())
+	}
+	if after, err := tb.Count(); err != nil || after != before {
+		t.Errorf("live count %d (err %v) after failed relocation, want %d", after, err, before)
+	}
+}

@@ -18,20 +18,32 @@ type Stats struct {
 	Probes  uint64 // lookups served
 }
 
+// partialState is one immutable (coverage, tree) pair. Mutators derive
+// a new state from the current one and publish it with a single atomic
+// store; the persistent B+-tree shares all unchanged nodes with its
+// predecessor, so a published state never mutates and a reader that
+// loaded it may keep probing it for as long as it likes.
+type partialState struct {
+	cov  Coverage
+	tree *btree.PTree
+}
+
 // Partial is a partial secondary index over one column of a table. The
 // index contains exactly the (value, rid) pairs of live tuples whose
 // value satisfies the coverage predicate.
 //
-// Concurrency: probes (Lookup, LookupRange, ScanRange, Contains, Covers,
-// Ascend) may run concurrently with each other — the probe counter is
-// atomic and the tree is not mutated by them. Mutations (Add, Remove,
-// Update, Rebuild) require exclusive access; the engine provides it via
-// the table lock.
+// Concurrency: the index state (coverage predicate + persistent B+-tree)
+// lives behind one atomic pointer. Probes (Lookup, LookupRange,
+// ScanRange, Contains, Covers, Ascend, Snapshot) load it and need no
+// lock at all — they may run concurrently with each other and with a
+// mutator, observing either the old or the new state in full, never a
+// mix. Mutations (Add, Remove, Update, Rebuild) are load-derive-store
+// and require exclusive access among themselves; the engine provides it
+// via the table lock.
 type Partial struct {
 	name   string
 	column int
-	cov    Coverage
-	tree   *btree.Tree
+	state  atomic.Pointer[partialState]
 
 	adds    atomic.Uint64
 	removes atomic.Uint64
@@ -45,7 +57,9 @@ func NewPartial(name string, column int, cov Coverage) *Partial {
 	if cov == nil {
 		cov = NoneCoverage{}
 	}
-	return &Partial{name: name, column: column, cov: cov, tree: btree.NewDefault()}
+	p := &Partial{name: name, column: column}
+	p.state.Store(&partialState{cov: cov, tree: btree.NewPTreeDefault()})
+	return p
 }
 
 // Name returns the index name.
@@ -55,14 +69,14 @@ func (p *Partial) Name() string { return p.name }
 func (p *Partial) Column() int { return p.column }
 
 // Coverage returns the current defining predicate.
-func (p *Partial) Coverage() Coverage { return p.cov }
+func (p *Partial) Coverage() Coverage { return p.state.Load().cov }
 
 // Covers reports whether v is within the index's defining predicate —
 // i.e. whether a query for v is a partial index hit.
-func (p *Partial) Covers(v storage.Value) bool { return p.cov.Covers(v) }
+func (p *Partial) Covers(v storage.Value) bool { return p.state.Load().cov.Covers(v) }
 
 // EntryCount returns the number of (value, rid) entries.
-func (p *Partial) EntryCount() int { return p.tree.EntryCount() }
+func (p *Partial) EntryCount() int { return p.state.Load().tree.EntryCount() }
 
 // Stats returns a snapshot of the maintenance counters.
 func (p *Partial) Stats() Stats {
@@ -74,34 +88,81 @@ func (p *Partial) Stats() Stats {
 	}
 }
 
+// Snapshot is a stable view of the index at one instant: a coverage
+// predicate and a persistent tree that no later mutation will touch.
+// The epoch-based read path resolves a whole probe against one Snapshot
+// and defers the only side effect (the probe counter) to NoteProbe, so
+// a validation failure can retry or fall back without having counted
+// anything.
+type Snapshot struct {
+	st *partialState
+	p  *Partial
+}
+
+// Snapshot returns the current index state without taking any lock.
+func (p *Partial) Snapshot() Snapshot { return Snapshot{st: p.state.Load(), p: p} }
+
+// Covers reports whether v is covered by the snapshot's predicate.
+func (s Snapshot) Covers(v storage.Value) bool { return s.st.cov.Covers(v) }
+
+// CoversRange reports whether [lo, hi] is entirely covered.
+func (s Snapshot) CoversRange(lo, hi storage.Value) bool {
+	return CoversWholeRange(s.st.cov, lo, hi)
+}
+
+// EntryCount returns the snapshot's entry count.
+func (s Snapshot) EntryCount() int { return s.st.tree.EntryCount() }
+
+// Lookup returns the posting list for v. The caller must have checked
+// Covers; no probe is counted — call NoteProbe once the result is
+// actually used. The returned slice aliases the immutable tree and must
+// not be modified.
+func (s Snapshot) Lookup(v storage.Value) []storage.RID { return s.st.tree.Lookup(v) }
+
+// LookupRange returns the RIDs with values in [lo, hi]. The caller must
+// have checked CoversRange; no probe is counted.
+func (s Snapshot) LookupRange(lo, hi storage.Value) []storage.RID {
+	var out []storage.RID
+	s.st.tree.AscendRange(lo, hi, func(_ storage.Value, post []storage.RID) bool {
+		out = append(out, post...)
+		return true
+	})
+	return out
+}
+
+// NoteProbe counts one served probe against the owning index.
+func (s Snapshot) NoteProbe() { s.p.probes.Add(1) }
+
 // Lookup returns the RIDs of tuples with the given value. Callers must
 // only ask for covered values; probing for an uncovered value is a logic
 // error in the access-path selection and panics.
 func (p *Partial) Lookup(v storage.Value) []storage.RID {
-	if !p.cov.Covers(v) {
+	st := p.state.Load()
+	if !st.cov.Covers(v) {
 		panic(fmt.Sprintf("index %s: lookup of uncovered value %v", p.name, v))
 	}
 	p.probes.Add(1)
-	return p.tree.Lookup(v)
+	return st.tree.Lookup(v)
 }
 
 // CoversRange reports whether the whole interval [lo, hi] is inside the
 // index's defining predicate — whether a range query over it is a
 // partial index hit.
 func (p *Partial) CoversRange(lo, hi storage.Value) bool {
-	return CoversWholeRange(p.cov, lo, hi)
+	return CoversWholeRange(p.state.Load().cov, lo, hi)
 }
 
 // LookupRange returns the RIDs of tuples with values in [lo, hi]. The
 // whole range must be covered; probing an uncovered range panics, as in
 // Lookup.
 func (p *Partial) LookupRange(lo, hi storage.Value) []storage.RID {
-	if !p.CoversRange(lo, hi) {
+	st := p.state.Load()
+	if !CoversWholeRange(st.cov, lo, hi) {
 		panic(fmt.Sprintf("index %s: range lookup of uncovered range [%v, %v]", p.name, lo, hi))
 	}
 	p.probes.Add(1)
 	var out []storage.RID
-	p.tree.AscendRange(lo, hi, func(_ storage.Value, post []storage.RID) bool {
+	st.tree.AscendRange(lo, hi, func(_ storage.Value, post []storage.RID) bool {
 		out = append(out, post...)
 		return true
 	})
@@ -116,7 +177,7 @@ func (p *Partial) LookupRange(lo, hi storage.Value) []storage.RID {
 func (p *Partial) ScanRange(lo, hi storage.Value) []storage.RID {
 	p.probes.Add(1)
 	var out []storage.RID
-	p.tree.AscendRange(lo, hi, func(_ storage.Value, post []storage.RID) bool {
+	p.state.Load().tree.AscendRange(lo, hi, func(_ storage.Value, post []storage.RID) bool {
 		out = append(out, post...)
 		return true
 	})
@@ -128,32 +189,39 @@ func (p *Partial) ScanRange(lo, hi storage.Value) []storage.RID {
 // Index Buffer's maintenance logic tests membership for arbitrary
 // tuples.
 func (p *Partial) Contains(v storage.Value, rid storage.RID) bool {
-	if !p.cov.Covers(v) {
+	st := p.state.Load()
+	if !st.cov.Covers(v) {
 		return false
 	}
-	return p.tree.Contains(v, rid)
+	return st.tree.Contains(v, rid)
 }
 
 // Add inserts (v, rid) if v is covered; it reports whether an entry was
-// added.
+// added. Mutators require exclusive access (the table lock).
 func (p *Partial) Add(v storage.Value, rid storage.RID) bool {
-	if !p.cov.Covers(v) {
+	st := p.state.Load()
+	if !st.cov.Covers(v) {
 		return false
 	}
-	if p.tree.Insert(v, rid) {
-		p.adds.Add(1)
-		return true
+	tree, added := st.tree.Insert(v, rid)
+	if !added {
+		return false
 	}
-	return false
+	p.state.Store(&partialState{cov: st.cov, tree: tree})
+	p.adds.Add(1)
+	return true
 }
 
 // Remove deletes (v, rid); it reports whether an entry was removed.
 func (p *Partial) Remove(v storage.Value, rid storage.RID) bool {
-	if p.tree.Delete(v, rid) {
-		p.removes.Add(1)
-		return true
+	st := p.state.Load()
+	tree, removed := st.tree.Delete(v, rid)
+	if !removed {
+		return false
 	}
-	return false
+	p.state.Store(&partialState{cov: st.cov, tree: tree})
+	p.removes.Add(1)
+	return true
 }
 
 // Update adjusts the index for a tuple whose indexed value changed from
@@ -165,21 +233,25 @@ func (p *Partial) Remove(v storage.Value, rid storage.RID) bool {
 //	old not, new covered      -> IX.Add(new)
 //	old not, new not          -> nothing
 func (p *Partial) Update(old, new storage.Value, oldRID, newRID storage.RID) {
-	oldIn, newIn := p.cov.Covers(old), p.cov.Covers(new)
+	st := p.state.Load()
+	oldIn, newIn := st.cov.Covers(old), st.cov.Covers(new)
 	switch {
 	case oldIn && newIn:
 		if old.Equal(new) && oldRID == newRID {
 			return
 		}
-		p.tree.Delete(old, oldRID)
-		p.tree.Insert(new, newRID)
+		tree, _ := st.tree.Delete(old, oldRID)
+		tree, _ = tree.Insert(new, newRID)
+		p.state.Store(&partialState{cov: st.cov, tree: tree})
 		p.updates.Add(1)
 	case oldIn && !newIn:
-		if p.tree.Delete(old, oldRID) {
+		if tree, ok := st.tree.Delete(old, oldRID); ok {
+			p.state.Store(&partialState{cov: st.cov, tree: tree})
 			p.removes.Add(1)
 		}
 	case !oldIn && newIn:
-		if p.tree.Insert(new, newRID) {
+		if tree, ok := st.tree.Insert(new, newRID); ok {
+			p.state.Store(&partialState{cov: st.cov, tree: tree})
 			p.adds.Add(1)
 		}
 	}
@@ -187,7 +259,7 @@ func (p *Partial) Update(old, new storage.Value, oldRID, newRID storage.RID) {
 
 // Ascend iterates the index contents in value order.
 func (p *Partial) Ascend(fn func(v storage.Value, post []storage.RID) bool) {
-	p.tree.Ascend(fn)
+	p.state.Load().tree.Ascend(fn)
 }
 
 // TupleSource yields the tuples of a table page by page; the heap table
@@ -200,7 +272,8 @@ type TupleSource interface {
 // Rebuild redefines the index's coverage and repopulates it with a full
 // scan of the table — the (expensive) adaptation step of the disk-based
 // partial index that the Index Buffer papers over. It returns the number
-// of entries in the rebuilt index.
+// of entries in the rebuilt index. The new coverage and the new tree
+// become visible to lock-free probes in one atomic publication.
 func (p *Partial) Rebuild(cov Coverage, table TupleSource) (int, error) {
 	if cov == nil {
 		cov = NoneCoverage{}
@@ -216,9 +289,8 @@ func (p *Partial) Rebuild(cov Coverage, table TupleSource) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("index %s: rebuild: %w", p.name, err)
 	}
-	fresh := btree.Bulk(btree.DefaultOrder, entries)
+	fresh := btree.PBulk(btree.DefaultOrder, entries)
 	p.adds.Add(uint64(fresh.EntryCount()))
-	p.cov = cov
-	p.tree = fresh
+	p.state.Store(&partialState{cov: cov, tree: fresh})
 	return fresh.EntryCount(), nil
 }
