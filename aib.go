@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exec"
+	"repro/internal/flight"
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -890,6 +891,89 @@ func (db *DB) TelemetryStats() TelemetryStats {
 	}
 	return db.sink.Stats()
 }
+
+// FlightRecord is one completed statement's flight record: trace ID,
+// tenant, statement text, execution mechanism, page counts, quota
+// degradation, WAL commit latency with the group-commit batch size, the
+// span tree of adaptive events the statement triggered, wall-clock
+// duration and error; see flight.Record.
+type FlightRecord = flight.Record
+
+// FlightStats reports the flight recorder's counters: enabled state,
+// completed and slow-captured statements, and the slow threshold; see
+// flight.Stats.
+type FlightStats = flight.Stats
+
+// EnableFlightRecorder turns the per-statement flight recorder on.
+// While on, every statement that enters the statement API (Exec,
+// Session.Exec, the wire server) is recorded: a trace ID is minted (or
+// taken from the caller via the wire protocol's TRACE prefix), threaded
+// through execution so span events and WAL commits carry it, and the
+// completed record lands in a bounded in-memory ring. Statements at or
+// above slowThreshold are additionally kept in a separate slow-query
+// ring (0 keeps the current threshold, initially 10ms). Off (the
+// default) reduces the per-statement cost to a single atomic load, the
+// same contract as EnableTraceEvents.
+func (db *DB) EnableFlightRecorder(slowThreshold time.Duration) {
+	db.eng.Flight().Enable(slowThreshold)
+}
+
+// DisableFlightRecorder turns the flight recorder off. Retained records
+// stay readable.
+func (db *DB) DisableFlightRecorder() { db.eng.Flight().Disable() }
+
+// FlightRecorderEnabled reports whether the flight recorder is on.
+func (db *DB) FlightRecorderEnabled() bool { return db.eng.Flight().Enabled() }
+
+// FlightStats reads the flight recorder's counters.
+func (db *DB) FlightStats() FlightStats { return db.eng.Flight().Stats() }
+
+// MintTraceID returns a fresh process-unique trace ID, the same minting
+// the recorder applies to statements that arrive without one. The wire
+// server uses it to stamp statements so the client can correlate its
+// response with the flight record and span stream.
+func (db *DB) MintTraceID() string { return db.eng.Flight().MintID() }
+
+// SlowQueries returns up to n records from the slow-query ring, slowest
+// first. Empty until EnableFlightRecorder.
+func (db *DB) SlowQueries(n int) []FlightRecord { return db.eng.Flight().Slow(n) }
+
+// RecentQueries returns up to n most recently completed flight records,
+// newest first.
+func (db *DB) RecentQueries(n int) []FlightRecord { return db.eng.Flight().Recent(n) }
+
+// FlightRecords searches both retained rings for records matching every
+// given filter — trace ID, tenant, minimum duration — newest first, at
+// most n. Zero values ("" and 0) match everything.
+func (db *DB) FlightRecords(traceID, tenant string, minDuration time.Duration, n int) []FlightRecord {
+	return db.eng.Flight().Find(traceID, tenant, minDuration, n)
+}
+
+// DurabilityHealth summarizes the durability pipeline's health — WAL
+// sync errors, LSN positions, segment backlog and checkpoint
+// staleness — with an overall healthy verdict; /healthz serves it and
+// turns 503 when unhealthy. See engine.DurabilityHealth.
+type DurabilityHealth = engine.DurabilityHealth
+
+// DurabilityHealth reads the durability health summary.
+func (db *DB) DurabilityHealth() DurabilityHealth { return db.eng.DurabilityHealth() }
+
+// WALTelemetry extends WALStats with distribution telemetry: fsync
+// latency and group-commit batch-size summaries, LSN positions, active
+// segment count and the sticky sync error; see wal.Telemetry.
+type WALTelemetry = wal.Telemetry
+
+// WALTelemetry reads the log writer's telemetry; ok is false when the
+// WAL is off.
+func (db *DB) WALTelemetry() (WALTelemetry, bool) { return db.eng.WALTelemetry() }
+
+// CheckpointStats reports checkpoint activity: completed count, last
+// duration, and the age of the last checkpoint; see
+// engine.CheckpointStats.
+type CheckpointStats = engine.CheckpointStats
+
+// CheckpointStats reads the checkpoint counters.
+func (db *DB) CheckpointStats() CheckpointStats { return db.eng.CheckpointStats() }
 
 // Close flushes buffer pools and releases file-backed stores. In-memory
 // databases need no Close, but calling it is always safe.

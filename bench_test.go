@@ -675,13 +675,15 @@ func BenchmarkChurn(b *testing.B) {
 // DESIGN.md, "Observability" and "Adaptation timeline".
 func BenchmarkTraceOverhead(b *testing.B) {
 	cases := []struct {
-		name            string
-		spans, timeline bool
+		name                    string
+		spans, timeline, flight bool
 	}{
-		{"off", false, false},
-		{"spans-on", true, false},
-		{"timeline-on", false, true},
-		{"spans-and-timeline-on", true, true},
+		{"off", false, false, false},
+		{"spans-on", true, false, false},
+		{"timeline-on", false, true, false},
+		{"spans-and-timeline-on", true, true, false},
+		{"flight-on", false, false, true},
+		{"all-on", true, true, true},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
@@ -704,6 +706,12 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			}
 			db.EnableTraceEvents(tc.spans)
 			db.EnableTimeline(tc.timeline)
+			if tc.flight {
+				// The Table.Query path has no statement boundary, so the
+				// flight arms measure the Enabled+FromContext gate every
+				// instrumentation point pays — the embedded-API cost.
+				db.EnableFlightRecorder(time.Hour)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -117,8 +117,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "aibload: %d conns, p99 %.2f ms, saved-scan fraction %.3f\n",
-		rep.Conns, rep.P99MS, rep.SavedScanFraction)
+	fmt.Fprintf(os.Stderr, "aibload: %d conns, latency ms p50 %.2f p90 %.2f p99 %.2f max %.2f, saved-scan fraction %.3f\n",
+		rep.Conns, rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS, rep.SavedScanFraction)
+	for _, tl := range rep.TenantLatency {
+		fmt.Fprintf(os.Stderr, "aibload:   tenant %-12s %6d stmts, p50 %.2f p90 %.2f p99 %.2f max %.2f ms\n",
+			tl.Tenant, tl.Statements, tl.P50MS, tl.P90MS, tl.P99MS, tl.MaxMS)
+	}
 
 	if db != nil {
 		if violations := server.VerifyQuotas(db, spaceLimit); len(violations) > 0 {

@@ -64,7 +64,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics and /timeline?tenant=<name>\n", bound)
+		fmt.Printf("observability: http://%s/metrics, /timeline?tenant=<name>, /healthz and /debug/queries?trace=<id>\n", bound)
 	}
 
 	srv := server.New(db, server.Config{Addr: *addr, Workers: *workers})
@@ -100,10 +100,12 @@ func open(opts repro.Options) (*repro.DB, error) {
 }
 
 // serveObs mounts db.MetricsHandler on its own HTTP listener and turns
-// on timeline sampling so /timeline has data.
+// on timeline sampling, span recording and the per-statement flight
+// recorder, so /timeline, /debug/queries and SHOW SLOW have data.
 func serveObs(db *repro.DB, addr string) (interface{ Close() error }, string, error) {
 	db.EnableTimeline(true)
 	db.EnableTraceEvents(true)
+	db.EnableFlightRecorder(0)
 	return db.ServeMetrics(addr)
 }
 

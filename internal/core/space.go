@@ -267,6 +267,16 @@ func (s *Space) PinForScan(b *IndexBuffer) (release func()) {
 // held throughout, serializing displacement globally; per-buffer locks
 // are taken underneath it for the actual reads and drops.
 func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storage.PageID {
+	return s.SelectPagesForBufferObserved(target, numPages, nil)
+}
+
+// SelectPagesForBufferObserved is SelectPagesForBuffer with a per-call
+// observer: perQuery (when non-nil) receives this selection's
+// management events — "displace" and "page-select" — in addition to the
+// Space-wide observer, so the caller can attribute them to the query
+// whose indexing scan triggered the selection. perQuery runs with
+// Space.mu held and must honor the Observer contract.
+func (s *Space) SelectPagesForBufferObserved(target *IndexBuffer, numPages int, perQuery Observer) []storage.PageID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -406,6 +416,9 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 		if s.obs != nil {
 			s.obs.SpaceEvent("displace", v.owner.name, -1, v.entries)
 		}
+		if perQuery != nil {
+			perQuery.SpaceEvent("displace", v.owner.name, -1, v.entries)
+		}
 	}
 
 	out := make([]storage.PageID, 0, accepted)
@@ -416,6 +429,9 @@ func (s *Space) SelectPagesForBuffer(target *IndexBuffer, numPages int) []storag
 	s.stats.PagesSelected += uint64(len(out))
 	if s.obs != nil {
 		s.obs.SpaceEvent("page-select", target.name, -1, len(out))
+	}
+	if perQuery != nil {
+		perQuery.SpaceEvent("page-select", target.name, -1, len(out))
 	}
 	return out
 }

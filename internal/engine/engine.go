@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/exec"
+	"repro/internal/flight"
 	"repro/internal/heap"
 	"repro/internal/index"
 	"repro/internal/metrics"
@@ -115,6 +116,8 @@ type Engine struct {
 	tables   map[string]*Table
 	tracer   *trace.Tracer
 	timeline *timeline.Recorder
+	flight   *flight.Recorder
+	started  time.Time
 
 	// Epoch-based read path (readpath.go): the reclamation domain every
 	// retired snapshot goes through, and the fast-path counters.
@@ -132,6 +135,12 @@ type Engine struct {
 	lastCkpt atomic.Uint64 // LSN of the last completed checkpoint
 	ckptStop chan struct{} // periodic checkpointer lifecycle
 	ckptDone chan struct{}
+
+	// Checkpoint telemetry: completions, last duration, last completion
+	// instant (unix nanos; 0 until the first checkpoint finishes).
+	ckptCount     atomic.Uint64
+	ckptLastNanos atomic.Int64
+	ckptLastEnd   atomic.Int64
 
 	rewarmMu sync.Mutex
 	rewarm   []rewarmQuery // recovered query tail, consumed by Rewarm
@@ -163,6 +172,15 @@ func (e *Engine) SharedScanStats() metrics.SharedScanStats {
 
 // traceCapacity is the query-event ring size of the built-in tracer.
 const traceCapacity = 512
+
+// flightRecentCap and flightSlowCap size the flight recorder's rings:
+// the recent ring matches the tracer's event ring, the slow ring is
+// smaller because slow captures are meant to survive much longer than
+// their surrounding traffic.
+const (
+	flightRecentCap = 512
+	flightSlowCap   = 128
+)
 
 // New creates an empty engine. With a DataDir and the WAL enabled (the
 // default), a fresh log is initialized under <DataDir>/wal — any
@@ -198,6 +216,8 @@ func newEngine(cfg Config) *Engine {
 		tables:   make(map[string]*Table),
 		tracer:   trace.New(traceCapacity),
 		timeline: timeline.New(cfg.TimelineCapacity, cfg.ConvergenceTarget),
+		flight:   flight.NewRecorder(flightRecentCap, flightSlowCap),
+		started:  time.Now(),
 		epochs:   epoch.NewDomain(),
 	}
 	// Retired counter snapshots flow through the engine's epoch domain,
@@ -230,6 +250,31 @@ func (s spaceSpans) SpaceEvent(kind, buffer string, page, n int) {
 // Tracer exposes the engine's query monitor.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
+// Flight exposes the engine's per-statement flight recorder. Recording
+// is off by default and costs one atomic load per gated site while off.
+func (e *Engine) Flight() *flight.Recorder { return e.flight }
+
+// flightActive resolves the calling statement's in-progress flight
+// record: nil while the recorder is disabled (one atomic load — the
+// 0-alloc contract) or when the context carries no statement.
+func (e *Engine) flightActive(ctx context.Context) *flight.Active {
+	if !e.flight.Enabled() {
+		return nil
+	}
+	return flight.FromContext(ctx)
+}
+
+// flightSpans adapts an in-progress flight record to core.Observer, so
+// Algorithm-2 page selection can attribute its management events
+// (displace, page-select) to the statement that triggered them. The
+// Active only touches its own leaf mutex, honoring the Observer
+// contract (called with Space.mu held).
+type flightSpans struct{ a *flight.Active }
+
+func (f flightSpans) SpaceEvent(kind, buffer string, page, n int) {
+	f.a.Span(kind, buffer, page, n)
+}
+
 // Timeline exposes the engine's adaptation-timeline recorder. Enable it
 // with Timeline().Enable(true); sampling is off by default and costs
 // one atomic load per query while off.
@@ -252,12 +297,16 @@ func (e *Engine) SetTelemetrySink(s *timeline.Sink) {
 	if s == nil {
 		e.tracer.SetSpanSink(nil)
 		e.timeline.SetSink(nil)
+		e.flight.SetSink(nil)
 		return
 	}
 	e.timeline.SetSink(s)
 	e.tracer.SetSpanSink(func(sp trace.Span) {
-		s.WriteSpan(timeline.SpanRecord{Seq: sp.Seq, Kind: sp.Kind, Target: sp.Target, Page: sp.Page, N: sp.N})
+		s.WriteSpan(timeline.SpanRecord{Seq: sp.Seq, Kind: sp.Kind, Target: sp.Target, Page: sp.Page, N: sp.N, Trace: sp.Trace})
 	})
+	// Completed flight records ride the same stream (the recorder still
+	// gates: nothing completes while it is disabled).
+	e.flight.SetSink(func(r flight.Record) { s.WriteFlight(r) })
 	e.tracer.EnableSpans(true)
 	e.timeline.Enable(true)
 }
@@ -629,12 +678,21 @@ func (t *Table) redefineIndex(column int, cov index.Coverage) error {
 // the sync policy): the record carries the dirtied page's full image,
 // and Commit blocks until the log reaches stable storage.
 func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
+	return t.InsertCtx(context.Background(), tu)
+}
+
+// InsertCtx is Insert carrying statement context: a flight-recorded
+// statement attributes the WAL commit latency and group-commit batch to
+// its record. The insert itself does not honor cancellation (a started
+// mutation always completes and commits).
+func (t *Table) InsertCtx(ctx context.Context, tu storage.Tuple) (storage.RID, error) {
 	if err := t.engine.checkOpen(); err != nil {
 		return storage.InvalidRID, err
 	}
 	if err := t.engine.walError(); err != nil {
 		return storage.InvalidRID, err
 	}
+	fa := t.engine.flightActive(ctx)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.beginMutate()
@@ -661,7 +719,7 @@ func (t *Table) Insert(tu storage.Tuple) (storage.RID, error) {
 	// The dirtied page is still resident (nothing fetched since the heap
 	// write), so the image capture is a pool hit; see wal.go for why the
 	// record must precede any eviction of that page.
-	if err := t.logDML(wal.KindInsert, rid, storage.InvalidRID, rid.Page); err != nil {
+	if err := t.logDML(fa, wal.KindInsert, rid, storage.InvalidRID, rid.Page); err != nil {
 		return rid, err
 	}
 	return rid, nil
@@ -677,12 +735,18 @@ func (t *Table) Get(rid storage.RID) (storage.Tuple, error) {
 // Delete removes the tuple at rid, maintaining indexes and buffers.
 // Durable on return for WAL-backed engines, like Insert.
 func (t *Table) Delete(rid storage.RID) error {
+	return t.DeleteCtx(context.Background(), rid)
+}
+
+// DeleteCtx is Delete carrying statement context; see InsertCtx.
+func (t *Table) DeleteCtx(ctx context.Context, rid storage.RID) error {
 	if err := t.engine.checkOpen(); err != nil {
 		return err
 	}
 	if err := t.engine.walError(); err != nil {
 		return err
 	}
+	fa := t.engine.flightActive(ctx)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	old, err := t.heap.Get(rid)
@@ -705,19 +769,25 @@ func (t *Table) Delete(rid storage.RID) error {
 		}
 	}
 	t.endMutate() // before the WAL append; see Insert
-	return t.logDML(wal.KindDelete, rid, storage.InvalidRID, rid.Page)
+	return t.logDML(fa, wal.KindDelete, rid, storage.InvalidRID, rid.Page)
 }
 
 // Update replaces the tuple at rid, returning the possibly relocated RID
 // and maintaining indexes and buffers per the paper's Table I. Durable
 // on return for WAL-backed engines.
 func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
+	return t.UpdateCtx(context.Background(), rid, tu)
+}
+
+// UpdateCtx is Update carrying statement context; see InsertCtx.
+func (t *Table) UpdateCtx(ctx context.Context, rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 	if err := t.engine.checkOpen(); err != nil {
 		return storage.InvalidRID, err
 	}
 	if err := t.engine.walError(); err != nil {
 		return storage.InvalidRID, err
 	}
+	fa := t.engine.flightActive(ctx)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	old, err := t.heap.Get(rid)
@@ -754,7 +824,7 @@ func (t *Table) Update(rid storage.RID, tu storage.Tuple) (storage.RID, error) {
 		}
 	}
 	t.endMutate() // before the WAL append; see Insert
-	if err := t.logDML(wal.KindUpdate, newRID, rid, rid.Page, newRID.Page); err != nil {
+	if err := t.logDML(fa, wal.KindUpdate, newRID, rid, rid.Page, newRID.Page); err != nil {
 		return newRID, err
 	}
 	return newRID, nil
@@ -813,12 +883,13 @@ func (t *Table) queryEqualCtx(ctx context.Context, column int, key storage.Value
 	// snapshots cannot answer fall through to the lock (readpath.go).
 	if !t.engine.cfg.DisableEpochReadPath {
 		if m, stats, ok := t.fastEqual(column, key); ok {
+			t.noteFlight(ctx, column, stats, false)
 			return m, stats, nil
 		}
 	}
 
 	t.mu.RLock()
-	a, err := t.accessLocked(column)
+	a, err := t.accessLocked(ctx, column)
 	if err != nil {
 		t.mu.RUnlock()
 		return nil, exec.QueryStats{}, err
@@ -845,6 +916,7 @@ func (t *Table) runEqual(ctx context.Context, a exec.Access, column int, key sto
 		t.engine.noteScanWorkers(stats)
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
 		t.sampleTimeline(column, stats, false, a.Buffer)
+		t.noteFlight(ctx, column, stats, false)
 	}
 	return matches, stats, err
 }
@@ -873,12 +945,13 @@ func (t *Table) queryRangeCtx(ctx context.Context, column int, lo, hi storage.Va
 
 	if !t.engine.cfg.DisableEpochReadPath {
 		if m, stats, ok := t.fastRange(column, lo, hi); ok {
+			t.noteFlight(ctx, column, stats, false)
 			return m, stats, nil
 		}
 	}
 
 	t.mu.RLock()
-	a, err := t.accessLocked(column)
+	a, err := t.accessLocked(ctx, column)
 	if err != nil {
 		t.mu.RUnlock()
 		return nil, exec.QueryStats{}, err
@@ -905,6 +978,7 @@ func (t *Table) runRange(ctx context.Context, a exec.Access, column int, lo, hi 
 		t.engine.noteScanWorkers(stats)
 		t.engine.tracer.Record(t.name, t.schema.Column(column).Name, stats)
 		t.sampleTimeline(column, stats, false, a.Buffer)
+		t.noteFlight(ctx, column, stats, false)
 	}
 	return matches, stats, err
 }
@@ -913,7 +987,7 @@ func (t *Table) runRange(ctx context.Context, a exec.Access, column int, lo, hi 
 func (t *Table) ExplainEqual(column int, key storage.Value) (exec.Plan, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	a, err := t.accessLocked(column)
+	a, err := t.accessLocked(context.Background(), column)
 	if err != nil {
 		return exec.Plan{}, err
 	}
@@ -924,14 +998,14 @@ func (t *Table) ExplainEqual(column int, key storage.Value) (exec.Plan, error) {
 func (t *Table) ExplainRange(column int, lo, hi storage.Value) (exec.Plan, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	a, err := t.accessLocked(column)
+	a, err := t.accessLocked(context.Background(), column)
 	if err != nil {
 		return exec.Plan{}, err
 	}
 	return exec.ExplainRange(a, lo, hi), nil
 }
 
-func (t *Table) accessLocked(column int) (exec.Access, error) {
+func (t *Table) accessLocked(ctx context.Context, column int) (exec.Access, error) {
 	if err := t.checkColumn(column); err != nil {
 		return exec.Access{}, err
 	}
@@ -944,16 +1018,26 @@ func (t *Table) accessLocked(column int) (exec.Access, error) {
 		Parallelism: t.engine.cfg.ScanParallelism,
 	}
 	// The span callback (and the buffer-name string it captures) is built
-	// only while a consumer is on — the tracer's span ring or the
-	// adaptation timeline — so with both disabled the access path costs
-	// two atomic loads and zero allocations. Inside the callback each
-	// consumer re-checks its own gate.
+	// only while a consumer is on — the tracer's span ring, the
+	// adaptation timeline, or the statement's flight record — so with all
+	// disabled the access path costs three atomic loads and zero
+	// allocations. Inside the callback each consumer re-checks its own
+	// gate; flight-record calls are nil-receiver no-ops.
 	tr, tl := t.engine.tracer, t.engine.timeline
-	if tr.SpansEnabled() || tl.Enabled() {
+	fa := t.engine.flightActive(ctx)
+	if tr.SpansEnabled() || tl.Enabled() || fa != nil {
 		target := t.bufferName(column)
+		traceID := fa.Trace()
 		a.Span = func(kind string, page, n int) {
-			tr.Span(kind, target, page, n)
+			tr.SpanTraced(kind, target, page, n, traceID)
 			tl.NoteEvent(kind, target, page, n)
+			fa.Span(kind, target, page, n)
+		}
+		if fa != nil {
+			// Algorithm-2 page selection attributes its displace /
+			// page-select events to this statement (exec threads the
+			// observer through core.Space per selection call).
+			a.SpaceObs = flightSpans{fa}
 		}
 	}
 	return a, nil
@@ -990,4 +1074,30 @@ func (t *Table) sampleTimeline(column int, stats exec.QueryStats, follower bool,
 		mech = timeline.MechIndexingScan
 	}
 	tl.ObserveQuery(t.name, t.schema.Column(column).Name, mech, buf, t.engine.space.Buffer)
+}
+
+// noteFlight contributes one executed query's outcome to the calling
+// statement's flight record: attribution, mechanism (the tracer's
+// vocabulary), matches and the paper's page accounting. Gated on one
+// atomic load while the recorder is off.
+func (t *Table) noteFlight(ctx context.Context, column int, stats exec.QueryStats, follower bool) {
+	fa := t.engine.flightActive(ctx)
+	if fa == nil {
+		return
+	}
+	mech := flight.Mechanism(stats.PartialHit, follower, stats.FullScan, stats.QuotaDegraded)
+	fa.Query(t.name, t.schema.Column(column).Name, mech, stats.Matches, stats.PagesRead, stats.PagesSkipped, stats.QuotaDegraded)
+}
+
+// noteSpan emits one admission-layer span to the global stream (stamped
+// with the statement's trace ID) and to the statement's flight record.
+// The target name is built only when a consumer is on.
+func (t *Table) noteSpan(fa *flight.Active, kind string, column, page, n int) {
+	tr := t.engine.tracer
+	if !tr.SpansEnabled() && fa == nil {
+		return
+	}
+	target := t.bufferName(column)
+	tr.SpanTraced(kind, target, page, n, fa.Trace())
+	fa.Span(kind, target, page, n)
 }

@@ -252,5 +252,86 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	}
 	m.printf("aib_timeline_enabled %d\n", tlOn)
 
+	// Flight recorder state.
+	fs := e.flight.Stats()
+	m.head("aib_flight_enabled", "Whether the per-statement flight recorder is currently on.", "gauge")
+	frOn := 0
+	if fs.Enabled {
+		frOn = 1
+	}
+	m.printf("aib_flight_enabled %d\n", frOn)
+	m.head("aib_flight_completed_total", "Statements the flight recorder completed a record for.", "counter")
+	m.printf("aib_flight_completed_total %d\n", fs.Completed)
+	m.head("aib_flight_slow_total", "Statements captured by the slow-query ring.", "counter")
+	m.printf("aib_flight_slow_total %d\n", fs.Slow)
+	m.head("aib_flight_slow_threshold_seconds", "Current slow-query capture threshold.", "gauge")
+	m.printf("aib_flight_slow_threshold_seconds %g\n", fs.Threshold.Seconds())
+
+	// Durability telemetry: WAL writer counters and distributions,
+	// checkpoint progress and the recovery facts of this engine's
+	// startup. The families appear only on WAL-backed engines, the same
+	// convention as the per-tenant families (absent, not zero, when the
+	// subsystem is off).
+	if tel, ok := e.WALTelemetry(); ok {
+		m.head("aib_wal_appends_total", "Records appended to the write-ahead log.", "counter")
+		m.printf("aib_wal_appends_total %d\n", tel.Appends)
+		m.head("aib_wal_commits_total", "Commit calls acknowledged durable.", "counter")
+		m.printf("aib_wal_commits_total %d\n", tel.Commits)
+		m.head("aib_wal_syncs_total", "fsyncs issued by the log writer.", "counter")
+		m.printf("aib_wal_syncs_total %d\n", tel.Syncs)
+		m.head("aib_wal_bytes_total", "Payload and frame bytes appended to the log.", "counter")
+		m.printf("aib_wal_bytes_total %d\n", tel.Bytes)
+		m.head("aib_wal_segments_created_total", "Log segment files created.", "counter")
+		m.printf("aib_wal_segments_created_total %d\n", tel.Segments)
+		m.head("aib_wal_segments_removed_total", "Log segment files reclaimed by checkpoint truncation.", "counter")
+		m.printf("aib_wal_segments_removed_total %d\n", tel.Removed)
+		m.head("aib_wal_active_segments", "Live log segment files (grows while checkpoints stall).", "gauge")
+		m.printf("aib_wal_active_segments %d\n", tel.ActiveSegments)
+		m.head("aib_wal_appended_lsn", "LSN of the last appended record.", "gauge")
+		m.printf("aib_wal_appended_lsn %d\n", tel.AppendedLSN)
+		m.head("aib_wal_durable_lsn", "LSN up to which the log is known durable.", "gauge")
+		m.printf("aib_wal_durable_lsn %d\n", tel.DurableLSN)
+		m.head("aib_wal_sync_error", "Whether the log writer holds a sticky fsync error (1 = failed).", "gauge")
+		syncErr := 0
+		if tel.SyncErr != "" {
+			syncErr = 1
+		}
+		m.printf("aib_wal_sync_error %d\n", syncErr)
+		m.head("aib_wal_fsync_seconds", "fsync wall time, including any simulated device delay.", "summary")
+		fl := tel.FsyncLatency
+		m.printf("aib_wal_fsync_seconds{quantile=\"0.5\"} %g\n", fl.P50)
+		m.printf("aib_wal_fsync_seconds{quantile=\"0.95\"} %g\n", fl.P95)
+		m.printf("aib_wal_fsync_seconds{quantile=\"0.99\"} %g\n", fl.P99)
+		m.printf("aib_wal_fsync_seconds_sum %g\n", fl.Sum)
+		m.printf("aib_wal_fsync_seconds_count %d\n", fl.Count)
+		m.head("aib_wal_commit_batch_records", "Group-commit batch sizes: records made durable per watermark advance.", "summary")
+		cb := tel.CommitBatch
+		m.printf("aib_wal_commit_batch_records{quantile=\"0.5\"} %g\n", cb.P50)
+		m.printf("aib_wal_commit_batch_records{quantile=\"0.95\"} %g\n", cb.P95)
+		m.printf("aib_wal_commit_batch_records{quantile=\"0.99\"} %g\n", cb.P99)
+		m.printf("aib_wal_commit_batch_records_sum %g\n", cb.Sum)
+		m.printf("aib_wal_commit_batch_records_count %d\n", cb.Count)
+
+		cs := e.CheckpointStats()
+		m.head("aib_checkpoint_completed_total", "Checkpoints completed since the engine started.", "counter")
+		m.printf("aib_checkpoint_completed_total %d\n", cs.Completed)
+		m.head("aib_checkpoint_last_duration_seconds", "Wall time of the most recent checkpoint.", "gauge")
+		m.printf("aib_checkpoint_last_duration_seconds %g\n", cs.LastDuration.Seconds())
+		m.head("aib_checkpoint_age_seconds", "Time since the last checkpoint completed (since start when none has).", "gauge")
+		m.printf("aib_checkpoint_age_seconds %g\n", cs.Age.Seconds())
+
+		rs := e.RecoveryStats()
+		m.head("aib_recovery_redo_records", "DML records replayed by this engine's recovery pass.", "gauge")
+		m.printf("aib_recovery_redo_records %d\n", rs.RedoRecords)
+		m.head("aib_recovery_redo_pages", "Page images written by this engine's recovery pass.", "gauge")
+		m.printf("aib_recovery_redo_pages %d\n", rs.RedoPages)
+		m.head("aib_recovery_truncated_pages", "Surplus heap pages truncated during recovery.", "gauge")
+		m.printf("aib_recovery_truncated_pages %d\n", rs.TruncatedPages)
+		m.head("aib_recovery_torn_bytes", "Torn page and log bytes repaired during recovery.", "gauge")
+		m.printf("aib_recovery_torn_bytes %d\n", rs.TornPageBytes+rs.TornWALBytes)
+		m.head("aib_recovery_query_tail", "Logged query descriptors recovered for Rewarm.", "gauge")
+		m.printf("aib_recovery_query_tail %d\n", rs.QueryTail)
+	}
+
 	return m.err
 }

@@ -100,20 +100,21 @@ func (s *scanAdmission) seal(column int, b *scanBatch) []*attachedQuery {
 func (t *Table) queryShared(ctx context.Context, column int, lo, hi storage.Value, equality bool) ([]exec.Match, exec.QueryStats, error) {
 	counters := &t.engine.sharedScans
 	counters.Misses.Add(1)
-	tr := t.engine.tracer
-	if tr.SpansEnabled() {
-		tr.Span(trace.SpanMissAdmit, t.bufferName(column), -1, 0)
-	}
+	fa := t.engine.flightActive(ctx)
+	t.noteSpan(fa, trace.SpanMissAdmit, column, -1, 0)
 
 	q := &attachedQuery{ctx: ctx, lo: lo, hi: hi, equality: equality}
 	batch, leader := t.scans.attach(column, q)
 	if !leader {
 		counters.Attached.Add(1)
-		if tr.SpansEnabled() {
-			tr.Span(trace.SpanScanAttach, t.bufferName(column), -1, 0)
-		}
+		t.noteSpan(fa, trace.SpanScanAttach, column, -1, 0)
 		select {
 		case <-batch.done:
+			if q.err == nil && !q.canceled.Load() {
+				// The follower's own flight record: its stats, its wait-
+				// dominated wall time, attributed on its own goroutine.
+				t.noteFlight(ctx, column, q.stats, true)
+			}
 			return q.out, q.stats, q.err
 		case <-ctx.Done():
 			q.canceled.Store(true)
@@ -129,20 +130,21 @@ func (t *Table) queryShared(ctx context.Context, column int, lo, hi storage.Valu
 	// redefinition may have slipped in between planning and execution.
 	// ExecuteShared re-dispatches per query on the state it finds, so
 	// attached predicates the new index covers are served as hits.
-	a, err := t.accessLocked(column)
+	a, err := t.accessLocked(ctx, column)
 	if err != nil {
 		for _, aq := range attached {
 			aq.err = err
 		}
 	} else {
 		counters.Scans.Add(1)
-		if tr.SpansEnabled() {
-			tr.Span(trace.SpanScanLead, t.bufferName(column), -1, len(attached))
-		}
+		t.noteSpan(fa, trace.SpanScanLead, column, -1, len(attached))
 		t.runShared(a, column, attached)
 	}
 	t.mu.Unlock()
 	close(batch.done)
+	if q.err == nil {
+		t.noteFlight(ctx, column, q.stats, false)
+	}
 	return q.out, q.stats, q.err
 }
 

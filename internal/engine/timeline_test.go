@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/storage"
 	"repro/internal/timeline"
 )
 
@@ -434,5 +435,80 @@ func TestTelemetrySinkThroughEngine(t *testing.T) {
 	}
 	if !e.Timeline().Enabled() {
 		t.Error("detach disabled the timeline")
+	}
+}
+
+// TestMetricsWALFamiliesLint extends the strict exposition lint to a
+// WAL-backed engine: the aib_wal_* / aib_checkpoint_* / aib_recovery_*
+// families must parse cleanly, and the fsync summary's count must equal
+// the writer's own sync counter (they are bumped at the same sites).
+func TestMetricsWALFamiliesLint(t *testing.T) {
+	e := New(crashConfig(t.TempDir()))
+	defer e.Close()
+	schema := storage.MustSchema(storage.Column{Name: "a", Kind: storage.KindInt64})
+	tb, err := e.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if _, err := tb.Insert(storage.NewTuple(storage.Int64Value(i % 10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := e.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lintExposition(t, out)
+	for _, want := range []string{
+		"# TYPE aib_wal_appends_total counter",
+		"# TYPE aib_wal_syncs_total counter",
+		"# TYPE aib_wal_fsync_seconds summary",
+		"# TYPE aib_wal_commit_batch_records summary",
+		"aib_wal_sync_error 0",
+		"# TYPE aib_checkpoint_completed_total counter",
+		"aib_checkpoint_age_seconds",
+		"aib_recovery_redo_records 0",
+		"# TYPE aib_flight_enabled gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WAL exposition missing %q", want)
+		}
+	}
+
+	tel, ok := e.WALTelemetry()
+	if !ok {
+		t.Fatal("WAL-backed engine has no telemetry")
+	}
+	countRe := regexp.MustCompile(`(?m)^aib_wal_fsync_seconds_count (\d+)$`)
+	m := countRe.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatal("no aib_wal_fsync_seconds_count sample")
+	}
+	if got, _ := strconv.ParseUint(m[1], 10, 64); got != tel.Syncs {
+		t.Errorf("fsync summary count %d != WAL sync counter %d", got, tel.Syncs)
+	}
+	batchRe := regexp.MustCompile(`(?m)^aib_wal_commit_batch_records_sum (\S+)$`)
+	if m := batchRe.FindStringSubmatch(out); m == nil {
+		t.Error("no aib_wal_commit_batch_records_sum sample")
+	} else if sum, _ := strconv.ParseFloat(m[1], 64); uint64(sum) != uint64(tel.DurableLSN) {
+		t.Errorf("commit-batch sum %v != durable LSN %d", sum, tel.DurableLSN)
+	}
+
+	// An in-memory engine must not expose the WAL families at all —
+	// absent, not zero, like the other per-subsystem families.
+	mem, _ := newABC(t, Config{}, 100, 10)
+	defer mem.Close()
+	sb.Reset()
+	if err := mem.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "aib_wal_") || strings.Contains(sb.String(), "aib_checkpoint_") {
+		t.Error("in-memory engine exposes WAL families")
 	}
 }

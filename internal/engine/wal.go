@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/catalog"
+	"repro/internal/flight"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -97,6 +98,123 @@ func (e *Engine) WALStats() wal.Stats {
 	return e.wal.Stats()
 }
 
+// WALTelemetry returns the log writer's full observability snapshot;
+// ok is false when the WAL is off (in-memory or disabled engines).
+func (e *Engine) WALTelemetry() (wal.Telemetry, bool) {
+	if e.wal == nil {
+		return wal.Telemetry{}, false
+	}
+	return e.wal.Telemetry(), true
+}
+
+// CheckpointStats is the checkpoint-telemetry snapshot.
+type CheckpointStats struct {
+	// Completed counts finished checkpoints over the engine's lifetime.
+	Completed uint64 `json:"completed"`
+	// LastDuration is the wall time of the most recent checkpoint (0
+	// before the first completes).
+	LastDuration time.Duration `json:"last_duration_ns"`
+	// Age is the time since the last checkpoint completed — or since the
+	// engine started, when none has.
+	Age time.Duration `json:"age_ns"`
+}
+
+// CheckpointStats returns the engine's checkpoint telemetry (zero Age
+// basis is engine start for engines that never checkpointed).
+func (e *Engine) CheckpointStats() CheckpointStats {
+	s := CheckpointStats{
+		Completed:    e.ckptCount.Load(),
+		LastDuration: time.Duration(e.ckptLastNanos.Load()),
+	}
+	if end := e.ckptLastEnd.Load(); end > 0 {
+		s.Age = time.Since(time.Unix(0, end))
+	} else {
+		s.Age = time.Since(e.started)
+	}
+	return s
+}
+
+// checkpointStallFactor: with a periodic checkpointer configured, an
+// age beyond this many periods while log work is pending means the
+// loop is stuck (wedged fsync, starved goroutine) — the health surface
+// flips unhealthy rather than letting the segment backlog grow quietly.
+const checkpointStallFactor = 4
+
+// DurabilityHealth is the WAL/checkpoint health summary `/healthz`
+// serves — and the condition under which it returns 503.
+type DurabilityHealth struct {
+	// WALEnabled is false for in-memory or WAL-disabled engines; all
+	// other fields are zero then and the engine counts as healthy (there
+	// is no durability to be unhealthy about).
+	WALEnabled bool   `json:"wal_enabled"`
+	SyncPolicy string `json:"sync_policy,omitempty"`
+	// SyncError is the writer's sticky fsync error ("" while healthy).
+	SyncError string `json:"sync_error,omitempty"`
+	// WALInitError reports a WAL that failed to initialize (the engine
+	// is refusing DML).
+	WALInitError string `json:"wal_init_error,omitempty"`
+
+	AppendedLSN   uint64 `json:"appended_lsn"`
+	DurableLSN    uint64 `json:"durable_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	// SegmentBacklog is the live segment-file count; it grows while
+	// checkpoints stall.
+	SegmentBacklog int `json:"segment_backlog"`
+
+	Checkpoints          uint64  `json:"checkpoints"`
+	LastCheckpointMillis float64 `json:"last_checkpoint_ms"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds"`
+	// CheckpointStalled is set when a periodic checkpointer is
+	// configured, log work is pending, and the age exceeds
+	// checkpointStallFactor periods.
+	CheckpointStalled bool `json:"checkpoint_stalled,omitempty"`
+
+	// Healthy is false on a sticky sync error, a failed WAL init, or a
+	// stalled checkpointer; Reason names the first failing condition.
+	Healthy bool   `json:"healthy"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// DurabilityHealth evaluates the engine's durability health.
+func (e *Engine) DurabilityHealth() DurabilityHealth {
+	h := DurabilityHealth{Healthy: true}
+	if e.walErr != nil {
+		h.WALInitError = e.walErr.Error()
+		h.Healthy = false
+		h.Reason = "wal failed to initialize"
+		return h
+	}
+	if e.wal == nil {
+		return h
+	}
+	h.WALEnabled = true
+	h.SyncPolicy = e.cfg.WAL.SyncPolicy.String()
+	h.AppendedLSN = uint64(e.wal.AppendedLSN())
+	h.DurableLSN = uint64(e.wal.DurableLSN())
+	h.CheckpointLSN = e.lastCkpt.Load()
+	t := e.wal.Telemetry()
+	h.SegmentBacklog = t.ActiveSegments
+	ck := e.CheckpointStats()
+	h.Checkpoints = ck.Completed
+	h.LastCheckpointMillis = float64(ck.LastDuration) / float64(time.Millisecond)
+	h.CheckpointAgeSeconds = ck.Age.Seconds()
+	if err := e.wal.SyncError(); err != nil {
+		h.SyncError = err.Error()
+		h.Healthy = false
+		h.Reason = "wal sync error: " + err.Error()
+		return h
+	}
+	if every := e.cfg.WAL.CheckpointEvery; every > 0 &&
+		h.AppendedLSN > h.CheckpointLSN &&
+		ck.Age > checkpointStallFactor*every {
+		h.CheckpointStalled = true
+		h.Healthy = false
+		h.Reason = fmt.Sprintf("checkpointer stalled: %.1fs since last checkpoint (period %s)",
+			ck.Age.Seconds(), every)
+	}
+	return h
+}
+
 // walError surfaces a WAL that failed to initialize: the engine stays
 // queryable but refuses DML rather than silently running non-durable.
 func (e *Engine) walError() error {
@@ -127,10 +245,14 @@ func (t *Table) capturePage(p storage.PageID) (wal.PageImage, error) {
 // operation and index maintenance succeeded. Pages may repeat (an
 // in-place update names the same page twice); duplicates are captured
 // once.
-func (t *Table) logDML(kind wal.Kind, rid, oldRID storage.RID, pages ...storage.PageID) error {
+func (t *Table) logDML(fa *flight.Active, kind wal.Kind, rid, oldRID storage.RID, pages ...storage.PageID) error {
 	w := t.engine.wal
 	if w == nil {
 		return nil
+	}
+	var start time.Time
+	if fa != nil {
+		start = time.Now()
 	}
 	rec := &wal.Record{
 		Kind:   kind,
@@ -162,6 +284,11 @@ func (t *Table) logDML(kind wal.Kind, rid, oldRID storage.RID, pages ...storage.
 	}
 	if err := w.Commit(lsn); err != nil {
 		return fmt.Errorf("engine: wal commit: %w", err)
+	}
+	if fa != nil {
+		// Append+Commit wall time is the statement's durability cost; the
+		// batch is the group the covering fsync made durable with it.
+		fa.WAL(time.Since(start), w.LastBatch())
 	}
 	return nil
 }
@@ -219,6 +346,7 @@ func (e *Engine) checkpointIfWAL() error {
 // captured position and simply replay on top after a crash — redo by
 // full page images is idempotent.
 func (e *Engine) checkpoint() error {
+	start := time.Now()
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 	e.mu.RLock()
@@ -249,7 +377,13 @@ func (e *Engine) checkpoint() error {
 		return err
 	}
 	e.lastCkpt.Store(uint64(lsn))
-	return e.wal.TruncateTo(lsn)
+	if err := e.wal.TruncateTo(lsn); err != nil {
+		return err
+	}
+	e.ckptCount.Add(1)
+	e.ckptLastNanos.Store(int64(time.Since(start)))
+	e.ckptLastEnd.Store(time.Now().UnixNano())
+	return nil
 }
 
 // startCheckpointer launches the periodic checkpoint loop when

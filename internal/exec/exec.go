@@ -116,6 +116,13 @@ type Access struct {
 	// while at least one of them is enabled, so the nil check is the
 	// entire disabled-path cost.
 	Span func(kind string, page, n int)
+
+	// SpaceObs, when non-nil, is threaded through Algorithm-2 page
+	// selection (Space.SelectPagesForBufferObserved) so the selection's
+	// management events — displace, page-select — are attributed to the
+	// statement that triggered them, in addition to the Space-wide
+	// observer. The engine wires it to the statement's flight record.
+	SpaceObs core.Observer
 }
 
 // scanWorkers resolves the effective worker count for a scan over

@@ -270,7 +270,7 @@ func sharedIndexingScan(a Access, qs []SharedQuery, outs []SharedOutcome, states
 			outs[i].Stats.QuotaDegraded = true
 		}
 	} else {
-		selected = a.Space.SelectPagesForBuffer(a.Buffer, numPages) // I ← SelectPagesForBuffer()
+		selected = a.Space.SelectPagesForBufferObserved(a.Buffer, numPages, a.SpaceObs) // I ← SelectPagesForBuffer()
 	}
 	inI := make(map[storage.PageID]bool, len(selected))
 	for _, p := range selected {

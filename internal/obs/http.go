@@ -16,9 +16,12 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/timeline"
 )
@@ -31,7 +34,10 @@ import (
 //	/metrics            Prometheus text exposition (v0.0.4)
 //	/timeline           adaptation timeline + convergence as JSON,
 //	                    filtered by ?table=, ?column= and ?tenant=
-//	/healthz            200 + build info JSON (liveness probe)
+//	/healthz            build info + durability health JSON; 503 when
+//	                    the WAL or checkpointer is unhealthy
+//	/debug/queries      flight records as JSON, filtered by ?trace=,
+//	                    ?tenant=, ?min_ms= and bounded by ?n=
 //	/debug/pprof/       pprof index, plus cmdline, profile, symbol, trace
 type Server struct {
 	current func() *engine.Engine
@@ -49,6 +55,7 @@ func NewServer(current func() *engine.Engine) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/timeline", s.handleTimeline)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/queries", s.handleQueries)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -155,21 +162,78 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
-// healthResponse is the /healthz JSON document: enough build identity
-// for a load balancer or a test to tell what is answering.
+// queriesResponse is the /debug/queries JSON document.
+type queriesResponse struct {
+	Enabled     bool            `json:"enabled"`
+	ThresholdMS float64         `json:"slow_threshold_ms"`
+	Records     []flight.Record `json:"records"`
+}
+
+// handleQueries serves the flight recorder's retained records:
+// ?trace= / ?tenant= filter exactly, ?min_ms= keeps statements at least
+// that slow, and ?n= bounds the result (default 100). Matching records
+// come back newest first.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	eng := s.current()
+	if eng == nil {
+		http.Error(w, "no engine running", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	var minDur time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad min_ms: want a non-negative number", http.StatusBadRequest)
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	n := 100
+	if v := q.Get("n"); v != "" {
+		i, err := strconv.Atoi(v)
+		if err != nil || i <= 0 {
+			http.Error(w, "bad n: want a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = i
+	}
+	fr := eng.Flight()
+	recs := fr.Find(q.Get("trace"), q.Get("tenant"), minDur, n)
+	if recs == nil {
+		recs = []flight.Record{}
+	}
+	resp := queriesResponse{
+		Enabled:     fr.Enabled(),
+		ThresholdMS: float64(fr.SlowThreshold()) / float64(time.Millisecond),
+		Records:     recs,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// healthResponse is the /healthz JSON document: build identity plus the
+// engine's durability health and flight-recorder counters. Status is
+// "ok" (200) or "unhealthy" (503, with Reason naming the failing
+// durability condition); a server with no engine stays 200 — the probe
+// then only asserts process liveness.
 type healthResponse struct {
-	Status    string `json:"status"`
-	GoVersion string `json:"go_version"`
-	Module    string `json:"module,omitempty"`
-	Revision  string `json:"revision,omitempty"`
-	Engine    bool   `json:"engine"`
+	Status     string                   `json:"status"`
+	Reason     string                   `json:"reason,omitempty"`
+	GoVersion  string                   `json:"go_version"`
+	Module     string                   `json:"module,omitempty"`
+	Revision   string                   `json:"revision,omitempty"`
+	Engine     bool                     `json:"engine"`
+	Durability *engine.DurabilityHealth `json:"durability,omitempty"`
+	Flight     *flight.Stats            `json:"flight,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	eng := s.current()
 	resp := healthResponse{
 		Status:    "ok",
 		GoVersion: runtime.Version(),
-		Engine:    s.current() != nil,
+		Engine:    eng != nil,
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		resp.Module = bi.Main.Path
@@ -179,8 +243,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	status := http.StatusOK
+	if eng != nil {
+		dh := eng.DurabilityHealth()
+		resp.Durability = &dh
+		fs := eng.Flight().Stats()
+		resp.Flight = &fs
+		if !dh.Healthy {
+			resp.Status = "unhealthy"
+			resp.Reason = dh.Reason
+			status = http.StatusServiceUnavailable
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(resp)
 }
 

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -13,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/flight"
 	"repro/internal/index"
 	"repro/internal/storage"
 )
@@ -334,5 +338,123 @@ func TestConcurrentScrapeTimelineE2E(t *testing.T) {
 	}
 	if e.Timeline().SampleCount() == 0 {
 		t.Error("no timeline samples despite sampled workload")
+	}
+}
+
+// TestQueriesEndpoint exercises /debug/queries: the enabled flag, the
+// trace/tenant/min_ms/n filters and the 400s on malformed parameters.
+func TestQueriesEndpoint(t *testing.T) {
+	e := newEngine(t)
+	h := Handler(e)
+
+	// Recorder off: the endpoint answers with enabled=false, no records.
+	resp, body := get(t, h, "/debug/queries")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qr struct {
+		Enabled bool `json:"enabled"`
+		Records []struct {
+			Trace  string `json:"trace"`
+			Tenant string `json:"tenant"`
+			Stmt   string `json:"stmt"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, body)
+	}
+	if qr.Enabled || len(qr.Records) != 0 {
+		t.Fatalf("disabled recorder served %+v", qr)
+	}
+
+	// Complete two records through the recorder, one with a known trace.
+	fr := e.Flight()
+	fr.Enable(1)
+	a, _ := fr.Begin(context.Background(), "acme", "SELECT 1")
+	fr.Complete(a, nil)
+	b, _ := fr.Begin(flight.WithTrace(context.Background(), "tr-obs"), "tiny", "SELECT 2")
+	fr.Complete(b, nil)
+
+	_, body = get(t, h, "/debug/queries?trace=tr-obs")
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Enabled || len(qr.Records) != 1 || qr.Records[0].Stmt != "SELECT 2" {
+		t.Errorf("trace filter = %+v", qr)
+	}
+	_, body = get(t, h, "/debug/queries?tenant=acme")
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Records) != 1 || qr.Records[0].Tenant != "acme" {
+		t.Errorf("tenant filter = %+v", qr)
+	}
+	_, body = get(t, h, "/debug/queries?min_ms=3600000")
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Records) != 0 {
+		t.Errorf("min_ms=1h returned %+v", qr.Records)
+	}
+	_, body = get(t, h, "/debug/queries?n=1")
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Records) != 1 {
+		t.Errorf("n=1 returned %d records", len(qr.Records))
+	}
+
+	for _, bad := range []string{"?min_ms=-1", "?min_ms=x", "?n=0", "?n=x"} {
+		if resp, _ := get(t, h, "/debug/queries"+bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /debug/queries%s = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if resp, _ := get(t, DynamicHandler(func() *engine.Engine { return nil }), "/debug/queries"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("nil engine /debug/queries = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHealthzUnhealthyDurability pins the liveness-vs-durability split:
+// an engine whose WAL failed to initialize answers 503 with the failure
+// in the durability section, while a healthy WAL-less engine stays 200.
+func TestHealthzUnhealthyDurability(t *testing.T) {
+	// A regular file where the WAL directory must go forces init failure.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(engine.Config{DataDir: dir})
+	resp, body := get(t, Handler(e), "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy engine /healthz = %d, want 503\n%s", resp.StatusCode, body)
+	}
+	var hr struct {
+		Status     string `json:"status"`
+		Reason     string `json:"reason"`
+		Durability struct {
+			Healthy      bool   `json:"healthy"`
+			WALInitError string `json:"wal_init_error"`
+		} `json:"durability"`
+		Flight struct {
+			Enabled bool `json:"enabled"`
+		} `json:"flight"`
+	}
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, body)
+	}
+	if hr.Status != "unhealthy" || hr.Reason == "" {
+		t.Errorf("health = %+v", hr)
+	}
+	if hr.Durability.Healthy || hr.Durability.WALInitError == "" {
+		t.Errorf("durability section = %+v", hr.Durability)
+	}
+
+	// Healthy in-memory engine: 200 with a healthy durability section.
+	resp, body = get(t, Handler(newEngine(t)), "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy engine /healthz = %d\n%s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"healthy":true`) {
+		t.Errorf("healthz lacks durability verdict: %s", body)
 	}
 }

@@ -77,9 +77,15 @@ type LoadReport struct {
 	DurationMS     float64 `json:"duration_ms"`
 	Throughput     float64 `json:"statements_per_sec"`
 	P50MS          float64 `json:"p50_ms"`
+	P90MS          float64 `json:"p90_ms"`
 	P95MS          float64 `json:"p95_ms"`
 	P99MS          float64 `json:"p99_ms"`
 	MaxMS          float64 `json:"max_ms"`
+	// TenantLatency breaks the client-side latency distribution down by
+	// tenant, in the round-robin order of LoadConfig.Tenants. Quota-tight
+	// tenants degrade to unindexed scans, so their tail separates from
+	// the well-provisioned tenants' here.
+	TenantLatency []TenantLatency `json:"tenant_latency,omitempty"`
 	// SavedScanFraction is engine-side: the share of admitted misses
 	// whose indexing scan was avoided by riding along on another's
 	// (metrics.SharedScanStats.Saved / Misses). Only populated when the
@@ -87,6 +93,35 @@ type LoadReport struct {
 	SavedScanFraction float64 `json:"saved_scan_fraction"`
 	// Tenants is the post-run quota ledger (in-process runs only).
 	Tenants []repro.TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantLatency is one tenant's slice of the replay: statement count,
+// protocol errors, and the latency distribution in milliseconds.
+type TenantLatency struct {
+	Tenant     string  `json:"tenant"`
+	Statements int     `json:"statements"`
+	Errors     int     `json:"errors"`
+	P50MS      float64 `json:"p50_ms"`
+	P90MS      float64 `json:"p90_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+}
+
+// latencySummary sorts lats in place and reads the p50/p90/p95/p99/max
+// milliseconds (zeros for an empty slice).
+func latencySummary(lats []time.Duration) (p50, p90, p95, p99, max float64) {
+	n := len(lats)
+	if n == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	p50 = ms(lats[n*50/100])
+	p90 = ms(lats[min(n-1, n*90/100)])
+	p95 = ms(lats[min(n-1, n*95/100)])
+	p99 = ms(lats[min(n-1, n*99/100)])
+	max = ms(lats[n-1])
+	return
 }
 
 // loadClient is one wire connection: statement out, JSON response in.
@@ -260,12 +295,17 @@ func RunLoad(addr string, cfg LoadConfig, db *repro.DB) (LoadReport, error) {
 	elapsed := time.Since(start)
 
 	var all []time.Duration
+	perTenant := make(map[string][]time.Duration, len(cfg.Tenants))
+	tenantErrs := make(map[string]int, len(cfg.Tenants))
 	rep := LoadReport{Conns: cfg.Conns, QueriesPerConn: cfg.QueriesPerConn}
 	for i := range results {
 		if results[i].err != nil {
 			return rep, fmt.Errorf("conn %d: %w", i, results[i].err)
 		}
+		tenant := cfg.Tenants[i%len(cfg.Tenants)]
 		all = append(all, results[i].latencies...)
+		perTenant[tenant] = append(perTenant[tenant], results[i].latencies...)
+		tenantErrs[tenant] += results[i].errors
 		rep.Errors += results[i].errors
 	}
 	rep.Statements = len(all)
@@ -273,13 +313,20 @@ func RunLoad(addr string, cfg LoadConfig, db *repro.DB) (LoadReport, error) {
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Statements) / elapsed.Seconds()
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
-	if n := len(all); n > 0 {
-		rep.P50MS = ms(all[n*50/100])
-		rep.P95MS = ms(all[min(n-1, n*95/100)])
-		rep.P99MS = ms(all[min(n-1, n*99/100)])
-		rep.MaxMS = ms(all[n-1])
+	rep.P50MS, rep.P90MS, rep.P95MS, rep.P99MS, rep.MaxMS = latencySummary(all)
+	for _, tenant := range cfg.Tenants {
+		lats, seen := perTenant[tenant]
+		if !seen {
+			continue
+		}
+		delete(perTenant, tenant) // a tenant listed twice reports once
+		name := tenant
+		if name == "" {
+			name = "default"
+		}
+		tl := TenantLatency{Tenant: name, Statements: len(lats), Errors: tenantErrs[tenant]}
+		tl.P50MS, tl.P90MS, _, tl.P99MS, tl.MaxMS = latencySummary(lats)
+		rep.TenantLatency = append(rep.TenantLatency, tl)
 	}
 
 	if db != nil {

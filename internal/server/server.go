@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/flight"
 )
 
 // Config tunes one Server. The zero value is usable: an ephemeral
@@ -142,6 +143,12 @@ type response struct {
 	Rows   int    `json:"rows,omitempty"`
 	Code   string `json:"code,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Trace is the statement's trace ID — the client-supplied one (the
+	// "TRACE <id> <stmt>" prefix) echoed back, or the one the server
+	// minted when the flight recorder is on. Correlate it with
+	// /debug/queries?trace=<id> on the observability listener and with
+	// the trace field of exported span records.
+	Trace string `json:"trace,omitempty"`
 }
 
 func errResponse(err error) response {
@@ -155,6 +162,26 @@ func tenantStmt(line string) (string, bool) {
 		return f[1], true
 	}
 	return "", false
+}
+
+// traceStmt recognizes the optional "TRACE <id> <stmt>" statement
+// prefix: the client names the trace ID the statement should execute
+// under, and the server echoes it in the response. The ID is a single
+// whitespace-free token.
+func traceStmt(line string) (id, rest string, ok bool) {
+	first, tail, found := strings.Cut(line, " ")
+	if !found || !strings.EqualFold(first, "TRACE") {
+		return "", "", false
+	}
+	id, rest, found = strings.Cut(strings.TrimSpace(tail), " ")
+	if !found || id == "" {
+		return "", "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", false
+	}
+	return id, rest, true
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -209,20 +236,38 @@ func (s *Server) serveLine(sess **repro.Session, line string) (response, bool) {
 		return response{OK: true, Output: "tenant " + name}, false
 	}
 
+	// Resolve the statement's trace ID before execution: a client-
+	// supplied TRACE prefix wins; otherwise one is minted while the
+	// flight recorder is on, so every response can be correlated with
+	// its flight record. With the recorder off and no prefix, the
+	// statement runs untraced and the response omits the field.
+	ctx := s.ctx
+	traceID, rest, ok := traceStmt(line)
+	if ok {
+		line = rest
+	} else if s.db.FlightRecorderEnabled() {
+		traceID = s.db.MintTraceID()
+	}
+	if traceID != "" {
+		ctx = flight.WithTrace(ctx, traceID)
+	}
+
 	select {
 	case s.sem <- struct{}{}:
 	case <-s.ctx.Done():
 		return errResponse(s.ctx.Err()), true
 	}
-	res, err := (*sess).Exec(s.ctx, line)
+	res, err := (*sess).Exec(ctx, line)
 	<-s.sem
 
 	s.statements.Add(1)
 	if err != nil {
 		s.errored.Add(1)
-		return errResponse(err), false
+		resp := errResponse(err)
+		resp.Trace = traceID
+		return resp, false
 	}
-	return response{OK: true, Output: res.Output, Rows: res.Rows}, res.Quit
+	return response{OK: true, Output: res.Output, Rows: res.Rows, Trace: traceID}, res.Quit
 }
 
 func (s *Server) isDraining() bool {

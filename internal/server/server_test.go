@@ -303,3 +303,97 @@ func TestServerShutdownDrain(t *testing.T) {
 		t.Errorf("statements = %d, want 1", got)
 	}
 }
+
+// TestServerTracePropagation pins the end-to-end trace-context path: a
+// client-supplied TRACE ID must come back in the response JSON, appear
+// on the span events the statement emitted, and key the statement's
+// flight record — for that exact statement.
+func TestServerTracePropagation(t *testing.T) {
+	db := openDB(t, repro.Options{})
+	db.EnableFlightRecorder(time.Hour) // record everything, capture nothing as slow
+	db.EnableTraceEvents(true)
+	_, addr := startServer(t, db, Config{})
+	c := dialProto(t, addr)
+
+	for _, stmt := range []string{
+		"CREATE TABLE t (a INT, b VARCHAR)",
+		"CREATE PARTIAL INDEX ON t (a) COVERING 1 TO 5",
+	} {
+		if r := c.do(stmt); !r.OK {
+			t.Fatalf("%s: %+v", stmt, r)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < 120; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'x')", i%40+1)
+	}
+	if r := c.do(sb.String()); !r.OK {
+		t.Fatalf("insert: %+v", r)
+	}
+
+	// The traced statement misses the partial index, so it runs an
+	// indexing scan and emits span events under the supplied trace ID.
+	const traceID = "client-trace-42"
+	const stmt = "SELECT * FROM t WHERE a = 30"
+	r := c.do("TRACE " + traceID + " " + stmt)
+	if !r.OK || r.Rows == 0 {
+		t.Fatalf("traced select: %+v", r)
+	}
+	if r.Trace != traceID {
+		t.Fatalf("response trace = %q, want the client-supplied %q", r.Trace, traceID)
+	}
+
+	// Flight record: exactly this statement, under this trace.
+	recs := db.FlightRecords(traceID, "", 0, 0)
+	if len(recs) != 1 {
+		t.Fatalf("FlightRecords(%q) = %d records, want 1", traceID, len(recs))
+	}
+	rec := recs[0]
+	if rec.Stmt != stmt {
+		t.Errorf("flight record stmt = %q, want %q", rec.Stmt, stmt)
+	}
+	if rec.Tenant != "default" || rec.Table != "t" || rec.Column != "a" {
+		t.Errorf("flight attribution wrong: %+v", rec)
+	}
+	if rec.Mechanism != "indexing-scan" {
+		t.Errorf("mechanism = %q, want indexing-scan", rec.Mechanism)
+	}
+	if rec.PagesRead == 0 || len(rec.Spans) == 0 {
+		t.Errorf("flight record missing execution detail: %+v", rec)
+	}
+
+	// Span stream: the statement's events carry the trace ID.
+	traced := 0
+	for _, sp := range db.TraceEvents() {
+		if sp.Trace == traceID {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Error("no span event carries the client trace ID")
+	}
+
+	// Without a TRACE prefix the server mints: the response still
+	// carries a (server-generated) ID that keys a flight record.
+	r2 := c.do("SELECT * FROM t WHERE a = 31")
+	if !r2.OK || !strings.HasPrefix(r2.Trace, "aib-") {
+		t.Fatalf("minted trace missing: %+v", r2)
+	}
+	if got := db.FlightRecords(r2.Trace, "", 0, 0); len(got) != 1 {
+		t.Errorf("minted trace %q keys %d flight records, want 1", r2.Trace, len(got))
+	}
+
+	// With the recorder off and no prefix, the response omits the field.
+	db.DisableFlightRecorder()
+	if r3 := c.do("SELECT * FROM t WHERE a = 32"); r3.Trace != "" {
+		t.Errorf("recorder off: response still carries trace %q", r3.Trace)
+	}
+	// A client-supplied ID is still echoed even with the recorder off.
+	if r4 := c.do("TRACE still-echoed SELECT * FROM t WHERE a = 33"); r4.Trace != "still-echoed" {
+		t.Errorf("recorder off: client trace not echoed: %+v", r4)
+	}
+}

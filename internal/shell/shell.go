@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exec"
+	"repro/internal/flight"
 	"repro/internal/index"
 	"repro/internal/storage"
 	"repro/internal/timeline"
@@ -59,9 +60,15 @@ func (s *Shell) Eval(line string) (Result, error) {
 
 // EvalCtx parses and executes one command line. Empty lines and comments
 // (lines starting with --) are no-ops. ctx is checked up front and
-// threaded into the query paths (SELECT, and the lookups of DELETE and
-// UPDATE), so a long scan is abandoned between page reads when the
-// caller gives up.
+// threaded into the query paths (SELECT, the lookups of DELETE and
+// UPDATE, and DML WAL commits), so a long scan is abandoned between page
+// reads when the caller gives up.
+//
+// When the engine's flight recorder is enabled, every non-empty
+// statement gets a flight record: the trace ID is taken from ctx (a
+// wire client may have supplied one) or minted here, and the completed
+// record — span tree, mechanism, WAL commit latency, duration, error —
+// lands in the recorder's rings when the statement finishes.
 func (s *Shell) EvalCtx(ctx context.Context, line string) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -70,6 +77,26 @@ func (s *Shell) EvalCtx(ctx context.Context, line string) (Result, error) {
 	if trimmed == "" || strings.HasPrefix(trimmed, "--") {
 		return Result{}, nil
 	}
+	if fr := s.eng.Flight(); fr.Enabled() {
+		var act *flight.Active
+		act, ctx = fr.Begin(ctx, s.tenantName(), trimmed)
+		res, err := s.evalCtx(ctx, trimmed)
+		fr.Complete(act, err)
+		return res, err
+	}
+	return s.evalCtx(ctx, trimmed)
+}
+
+// tenantName labels the shell's tenant for flight records.
+func (s *Shell) tenantName() string {
+	if s.tenant != nil {
+		return s.tenant.Name()
+	}
+	return "default"
+}
+
+// evalCtx dispatches one trimmed, non-empty statement.
+func (s *Shell) evalCtx(ctx context.Context, trimmed string) (Result, error) {
 	toks, err := lex(trimmed)
 	if err != nil {
 		return Result{}, err
@@ -90,7 +117,7 @@ func (s *Shell) EvalCtx(ctx context.Context, line string) (Result, error) {
 	case "CREATE":
 		return s.evalCreate(p)
 	case "INSERT":
-		return s.evalInsert(p)
+		return s.evalInsert(ctx, p)
 	case "DELETE":
 		return s.evalDelete(ctx, p)
 	case "UPDATE":
@@ -173,6 +200,7 @@ const helpText = `commands:
   SELECT * FROM table WHERE col BETWEEN lo AND hi
   EXPLAIN SELECT * FROM table WHERE ...
   SHOW TABLES | SHOW BUFFERS | SHOW INDEXES | SHOW STATS | SHOW TIMELINE
+  SHOW SLOW [n]   (slowest captured statements from the flight recorder)
   VACUUM table
   SAVE   (persist a DataDir-backed database)
   HELP | EXIT`
@@ -367,7 +395,7 @@ func (s *Shell) evalCreateIndex(p *parser) (Result, error) {
 	return Result{Output: fmt.Sprintf("created partial index on %s(%s) covering %s", tname, cname, cov)}, nil
 }
 
-func (s *Shell) evalInsert(p *parser) (Result, error) {
+func (s *Shell) evalInsert(ctx context.Context, p *parser) (Result, error) {
 	if err := p.word("INTO"); err != nil {
 		return Result{}, err
 	}
@@ -409,7 +437,7 @@ func (s *Shell) evalInsert(p *parser) (Result, error) {
 				return Result{}, fmt.Errorf("expected , or ) in tuple, got %q", sep.text)
 			}
 		}
-		if _, err := t.Insert(storage.NewTuple(vals...)); err != nil {
+		if _, err := t.InsertCtx(ctx, storage.NewTuple(vals...)); err != nil {
 			return Result{}, err
 		}
 		count++
@@ -472,7 +500,7 @@ func (s *Shell) evalDelete(ctx context.Context, p *parser) (Result, error) {
 		return Result{}, err
 	}
 	for _, m := range matches {
-		if err := t.Delete(m.RID); err != nil {
+		if err := t.DeleteCtx(ctx, m.RID); err != nil {
 			return Result{}, err
 		}
 	}
@@ -522,7 +550,7 @@ func (s *Shell) evalUpdate(ctx context.Context, p *parser) (Result, error) {
 		if err := t.Schema().Validate(m.Tuple.WithValue(setCol, newVal)); err != nil {
 			return Result{}, err
 		}
-		if _, err := t.Update(m.RID, m.Tuple.WithValue(setCol, newVal)); err != nil {
+		if _, err := t.UpdateCtx(ctx, m.RID, m.Tuple.WithValue(setCol, newVal)); err != nil {
 			return Result{}, err
 		}
 	}
@@ -717,6 +745,20 @@ func (s *Shell) evalShow(p *parser) (Result, error) {
 		return Result{Output: s.eng.Tracer().Report()}, nil
 	case "TIMELINE":
 		return s.showTimeline()
+	case "SLOW":
+		n := 10
+		if !p.done() {
+			nt, err := p.next()
+			if err != nil {
+				return Result{}, err
+			}
+			v, err := strconv.Atoi(nt.text)
+			if err != nil || v <= 0 {
+				return Result{}, fmt.Errorf("SHOW SLOW wants a positive count, got %q", nt.text)
+			}
+			n = v
+		}
+		return s.showSlow(n)
 	case "INDEXES":
 		var sb strings.Builder
 		found := false
@@ -737,8 +779,49 @@ func (s *Shell) evalShow(p *parser) (Result, error) {
 		}
 		return Result{Output: sb.String()}, nil
 	default:
-		return Result{}, fmt.Errorf("SHOW %s not supported (want TABLES, BUFFERS, INDEXES, STATS or TIMELINE)", what.text)
+		return Result{}, fmt.Errorf("SHOW %s not supported (want TABLES, BUFFERS, INDEXES, STATS, TIMELINE or SLOW)", what.text)
 	}
+}
+
+// showSlow renders the flight recorder's slow-query capture: the n
+// slowest completed statements, slowest first. A tenant shell sees only
+// its own statements.
+func (s *Shell) showSlow(n int) (Result, error) {
+	fr := s.eng.Flight()
+	if !fr.Enabled() {
+		return Result{Output: "flight recorder is off (start aibserver, or enable it programmatically)"}, nil
+	}
+	recs := fr.Slow(n)
+	if s.tenant != nil {
+		kept := recs[:0]
+		for _, r := range recs {
+			if r.Tenant == s.tenant.Name() {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
+	if len(recs) == 0 {
+		return Result{Output: fmt.Sprintf("no statements above the slow threshold (%s) yet", fr.SlowThreshold())}, nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %-10s %10s %8s %6s %6s %8s  %s\n",
+		"trace", "tenant", "ms", "mech", "rows", "pages", "wal_ms", "statement")
+	for _, r := range recs {
+		stmt := r.Stmt
+		if len(stmt) > 48 {
+			stmt = stmt[:45] + "..."
+		}
+		mech := r.Mechanism
+		if mech == "" {
+			mech = "-"
+		}
+		fmt.Fprintf(&sb, "%-24s %-10s %10.2f %8s %6d %6d %8.2f  %s\n",
+			r.Trace, r.Tenant, float64(r.DurationNanos)/1e6, mech,
+			r.Matches, r.PagesRead, float64(r.WALCommitNanos)/1e6, stmt)
+	}
+	fmt.Fprintf(&sb, "slow threshold %s; %d captured since enable", fr.SlowThreshold(), fr.Stats().Slow)
+	return Result{Output: sb.String(), Rows: len(recs)}, nil
 }
 
 // showTimeline renders the adaptation timeline: one line per buffer

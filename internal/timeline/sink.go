@@ -7,6 +7,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/flight"
 )
 
 // Record type tags, first field of every exported line.
@@ -15,6 +17,8 @@ const (
 	RecordSample = "sample"
 	// RecordSpan tags a trace span line.
 	RecordSpan = "span"
+	// RecordFlight tags a completed per-statement flight record.
+	RecordFlight = "flight"
 )
 
 // SampleRecord is one exported timeline sample: the record envelope
@@ -37,6 +41,16 @@ type SpanRecord struct {
 	Target string `json:"target"`
 	Page   int    `json:"page"`
 	N      int    `json:"n"`
+	// Trace is the emitting statement's trace ID, when the span was
+	// recorded under one ("" otherwise).
+	Trace string `json:"trace,omitempty"`
+}
+
+// FlightRecord is one exported per-statement flight record: the record
+// envelope around the flight package's Record fields.
+type FlightRecord struct {
+	Type string `json:"type"`
+	flight.Record
 }
 
 // SinkStats is a point-in-time reading of a sink's counters.
@@ -74,6 +88,11 @@ func (s *Sink) WriteSample(rec SampleRecord) {
 func (s *Sink) WriteSpan(rec SpanRecord) {
 	rec.Type = RecordSpan
 	s.writeJSON(rec)
+}
+
+// WriteFlight exports one completed flight record.
+func (s *Sink) WriteFlight(rec flight.Record) {
+	s.writeJSON(FlightRecord{Type: RecordFlight, Record: rec})
 }
 
 func (s *Sink) writeJSON(v any) {
@@ -116,8 +135,16 @@ func (s *Sink) Err() error {
 // returns the number of records decoded; a malformed line, an unknown
 // record type, or a callback error stops the scan with an error naming
 // the line. This is the decode half of the sink — aibench's
-// -verify-telemetry mode and the replay tests are built on it.
+// -verify-telemetry mode and the replay tests are built on it. Flight
+// records in the stream are counted but skipped; use ScanAllRecords to
+// receive them.
 func ScanRecords(r io.Reader, onSample func(SampleRecord) error, onSpan func(SpanRecord) error) (int, error) {
+	return ScanAllRecords(r, onSample, onSpan, nil)
+}
+
+// ScanAllRecords is ScanRecords extended with the flight-record
+// callback (any callback may be nil to skip its type).
+func ScanAllRecords(r io.Reader, onSample func(SampleRecord) error, onSpan func(SpanRecord) error, onFlight func(FlightRecord) error) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	n, line := 0, 0
@@ -151,6 +178,16 @@ func ScanRecords(r io.Reader, onSample func(SampleRecord) error, onSpan func(Spa
 			}
 			if onSpan != nil {
 				if err := onSpan(rec); err != nil {
+					return n, fmt.Errorf("timeline: line %d: %w", line, err)
+				}
+			}
+		case RecordFlight:
+			var rec FlightRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return n, fmt.Errorf("timeline: line %d: %w", line, err)
+			}
+			if onFlight != nil {
+				if err := onFlight(rec); err != nil {
 					return n, fmt.Errorf("timeline: line %d: %w", line, err)
 				}
 			}

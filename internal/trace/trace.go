@@ -118,6 +118,10 @@ type Span struct {
 	Target string // buffer name, "table.column"
 	Page   int    // page id for page-scoped kinds, else -1
 	N      int    // kind-specific count payload (see the constants)
+	// Trace is the statement trace ID the span was emitted under, when
+	// the emitting path carried one ("" otherwise) — the per-query
+	// correlation key joining the global stream to flight records.
+	Trace string
 }
 
 // Tracer records query events and span events. Safe for concurrent use.
@@ -312,10 +316,17 @@ func (t *Tracer) SpansEnabled() bool { return t.spansOn.Load() }
 // Span records one span event into the span ring, stamping it with the
 // next monotonic sequence number. A no-op while spans are disabled.
 func (t *Tracer) Span(kind, target string, page, n int) {
+	t.SpanTraced(kind, target, page, n, "")
+}
+
+// SpanTraced is Span carrying the emitting statement's trace ID, so the
+// global stream stays joinable to per-statement flight records. Paths
+// without statement context pass "" (via Span).
+func (t *Tracer) SpanTraced(kind, target string, page, n int, traceID string) {
 	if !t.spansOn.Load() {
 		return
 	}
-	sp := Span{Seq: t.seq.Add(1), Kind: kind, Target: target, Page: page, N: n}
+	sp := Span{Seq: t.seq.Add(1), Kind: kind, Target: target, Page: page, N: n, Trace: traceID}
 	t.spanMu.Lock()
 	t.spans[t.spanNext] = sp
 	t.spanNext = (t.spanNext + 1) % len(t.spans)

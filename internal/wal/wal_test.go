@@ -588,3 +588,65 @@ func TestSyncNeverCommitReachesOSCache(t *testing.T) {
 	}
 	w.Close()
 }
+
+// TestTelemetryCountsMatchStats pins the /metrics acceptance contract:
+// under group commit the fsync-latency histogram observes exactly once
+// per counted fsync, and the batch-size histogram's total equals the
+// records made durable.
+func TestTelemetryCountsMatchStats(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	w, err := Create(dir, Options{Policy: SyncBatch, SyncDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn, err := w.Append(dmlRecord("t", g*per+i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.Commit(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	tel := w.Telemetry()
+	if tel.Appends != workers*per || tel.Commits != workers*per {
+		t.Fatalf("counters wrong: %+v", tel.Stats)
+	}
+	if got, want := tel.FsyncLatency.Count, int(tel.Syncs); got != want {
+		t.Errorf("fsync histogram observed %d times, Stats.Syncs = %d", got, want)
+	}
+	if tel.FsyncLatency.Max < (time.Millisecond).Seconds() {
+		t.Errorf("fsync latency max %.6fs below the simulated 1ms device delay", tel.FsyncLatency.Max)
+	}
+	if got := uint64(tel.CommitBatch.Sum); got != uint64(tel.DurableLSN) {
+		t.Errorf("batch-size histogram sums to %d, durable LSN is %d", got, tel.DurableLSN)
+	}
+	if tel.CommitBatch.Count == 0 || tel.LastBatch == 0 {
+		t.Errorf("batch telemetry empty: %+v", tel)
+	}
+	if tel.SyncErr != "" {
+		t.Errorf("healthy writer reports sync error %q", tel.SyncErr)
+	}
+	if tel.ActiveSegments < 1 {
+		t.Errorf("active segments = %d, want >= 1", tel.ActiveSegments)
+	}
+	if w.SyncError() != nil {
+		t.Errorf("SyncError = %v on a healthy writer", w.SyncError())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

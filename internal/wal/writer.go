@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // SyncPolicy selects how Commit makes appended records durable.
@@ -75,6 +77,34 @@ type Stats struct {
 	Removed  uint64 // segment files removed by TruncateTo
 }
 
+// Telemetry is the writer's full observability snapshot: the raw
+// counters plus the latency/batch distributions and the health facts
+// the /healthz and /metrics surfaces expose.
+type Telemetry struct {
+	Stats
+	// ActiveSegments is the number of live segment files (the open one
+	// plus any not yet reclaimed by TruncateTo) — the segment backlog a
+	// stalled checkpointer lets grow.
+	ActiveSegments int
+	// AppendedLSN / DurableLSN bound the volume of acknowledged-but-not-
+	// yet-durable records (zero under SyncAlways, the group under
+	// SyncBatch while a flush is in flight).
+	AppendedLSN LSN
+	DurableLSN  LSN
+	// LastBatch is the size (in records) of the most recent durable
+	// advance — the latest group-commit batch.
+	LastBatch uint64
+	// FsyncLatency summarizes the distribution of fsync wall times
+	// (including any simulated SyncDelay). Count matches Stats.Syncs.
+	FsyncLatency metrics.HistogramStats
+	// CommitBatch summarizes the group-commit batch sizes: records made
+	// durable per fsync-driven watermark advance.
+	CommitBatch metrics.HistogramStats
+	// SyncErr is the sticky sync error, if any ("" when healthy). Once
+	// set the writer refuses further syncs; commits fail fast.
+	SyncErr string
+}
+
 // Writer appends records to the segmented log. It is safe for
 // concurrent use: Append serializes on an internal mutex, Commit blocks
 // only on durability (per the policy), and fsyncs never hold the append
@@ -114,6 +144,13 @@ type Writer struct {
 	bytes    atomic.Uint64
 	segsMade atomic.Uint64
 	removed  atomic.Uint64
+
+	// lastBatch is the record count of the most recent durable advance;
+	// fsyncLat and batchSize are bounded reservoirs (internally
+	// synchronized) feeding the aib_wal_* summary families.
+	lastBatch atomic.Uint64
+	fsyncLat  *metrics.Histogram
+	batchSize *metrics.Histogram
 }
 
 // segment is one live log file.
@@ -206,6 +243,10 @@ func newWriter(dir string, opts Options, next LSN) (*Writer, error) {
 		flushCh: make(chan struct{}, 1),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
+		// Bounded reservoirs so a long-lived writer's memory stays flat;
+		// fixed seeds keep runs reproducible (repo seeding convention).
+		fsyncLat:  metrics.NewReservoirHistogram(4096, 41),
+		batchSize: metrics.NewReservoirHistogram(4096, 43),
 	}
 	w.cond = sync.NewCond(&w.condMu)
 	w.appended = next - 1
@@ -316,6 +357,7 @@ func (w *Writer) rotateLocked() error {
 	if err := w.buf.Flush(); err != nil {
 		return fmt.Errorf("wal: rotate flush: %w", err)
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: rotate sync: %w", err)
 	}
@@ -323,6 +365,7 @@ func (w *Writer) rotateLocked() error {
 		return fmt.Errorf("wal: rotate close: %w", err)
 	}
 	w.syncs.Add(1)
+	w.fsyncLat.Observe(time.Since(start).Seconds())
 	return w.openSegmentLocked(w.nextLSN)
 }
 
@@ -389,6 +432,7 @@ func (w *Writer) Sync() error {
 	w.mu.Unlock()
 
 	rotated := false
+	start := time.Now()
 	if err == nil {
 		if serr := f.Sync(); serr != nil {
 			if errors.Is(serr, os.ErrClosed) {
@@ -416,10 +460,16 @@ func (w *Writer) Sync() error {
 		if d := w.opts.SyncDelay; d > 0 {
 			time.Sleep(d)
 		}
+		// SyncDelay is part of the simulated device, so it belongs in the
+		// observed latency just as it does in the benchmark's shape.
+		w.fsyncLat.Observe(time.Since(start).Seconds())
 	}
 	// Monotonic advance; another Sync cannot be concurrent (syncMu).
-	if LSN(w.durable.Load()) < target {
+	if prev := LSN(w.durable.Load()); prev < target {
 		w.durable.Store(uint64(target))
+		batch := uint64(target - prev)
+		w.lastBatch.Store(batch)
+		w.batchSize.Observe(float64(batch))
 	}
 	w.condMu.Lock()
 	w.cond.Broadcast()
@@ -486,6 +536,40 @@ func (w *Writer) Stats() Stats {
 		Segments: w.segsMade.Load(),
 		Removed:  w.removed.Load(),
 	}
+}
+
+// SyncError returns the sticky sync error, or nil while the writer is
+// healthy. Once set it never clears: the log can no longer promise
+// durability, and health surfaces should go unhealthy.
+func (w *Writer) SyncError() error {
+	w.condMu.Lock()
+	defer w.condMu.Unlock()
+	return w.syncErr
+}
+
+// LastBatch returns the record count of the most recent group-commit
+// durable advance (0 before the first fsync-driven advance).
+func (w *Writer) LastBatch() uint64 { return w.lastBatch.Load() }
+
+// Telemetry returns the full observability snapshot.
+func (w *Writer) Telemetry() Telemetry {
+	w.mu.Lock()
+	segs := len(w.segs)
+	appended := w.appended
+	w.mu.Unlock()
+	t := Telemetry{
+		Stats:          w.Stats(),
+		ActiveSegments: segs,
+		AppendedLSN:    appended,
+		DurableLSN:     LSN(w.durable.Load()),
+		LastBatch:      w.lastBatch.Load(),
+		FsyncLatency:   w.fsyncLat.Stats(),
+		CommitBatch:    w.batchSize.Stats(),
+	}
+	if err := w.SyncError(); err != nil {
+		t.SyncErr = err.Error()
+	}
+	return t
 }
 
 // Close flushes and fsyncs outstanding records and releases the

@@ -1,9 +1,12 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // newObsDB builds a small database with a partial index and runs a hit
@@ -124,5 +127,119 @@ func TestDBMetricsHandler(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q\n---\n%s", want, body)
 		}
+	}
+}
+
+// execOK runs one statement through the front door and fails the test on
+// error.
+func execOK(t *testing.T, db *DB, stmt string) ExecResult {
+	t.Helper()
+	r, err := db.Exec(context.Background(), stmt)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", stmt, err)
+	}
+	return r
+}
+
+// TestFlightRecorderE2E drives statements through DB.Exec against a
+// DataDir-backed database and checks the flight recorder captured them:
+// minted trace IDs, query attribution, WAL commit accounting on DML,
+// slow capture, SHOW SLOW rendering and the FlightRecords filter.
+func TestFlightRecorderE2E(t *testing.T) {
+	db := MustOpen(Options{DataDir: t.TempDir()})
+	defer db.Close()
+	db.EnableFlightRecorder(time.Hour) // capture everything, nothing is "slow" yet
+
+	execOK(t, db, "CREATE TABLE t (a INT, b VARCHAR)")
+	execOK(t, db, "CREATE PARTIAL INDEX ON t (a) COVERING 1 TO 20")
+	for i := 0; i < 120; i++ {
+		execOK(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 'p%d')", i%40+1, i))
+	}
+	execOK(t, db, "SELECT * FROM t WHERE a = 30") // miss: indexing scan
+
+	recs := db.RecentQueries(0)
+	if len(recs) < 120 {
+		t.Fatalf("recent ring holds %d records, want >= 120", len(recs))
+	}
+	sel := recs[0] // newest first: the SELECT
+	if sel.Stmt != "SELECT * FROM t WHERE a = 30" || sel.Tenant != "default" {
+		t.Fatalf("newest record is not the SELECT: %+v", sel)
+	}
+	if !strings.HasPrefix(sel.Trace, "aib-") {
+		t.Errorf("embedded statement did not get a minted trace ID: %q", sel.Trace)
+	}
+	if sel.Table != "t" || sel.Column != "a" || sel.Mechanism != "indexing-scan" {
+		t.Errorf("query attribution wrong: %+v", sel)
+	}
+	if sel.PagesRead == 0 || len(sel.Spans) == 0 {
+		t.Errorf("SELECT record has no page/span detail: %+v", sel)
+	}
+	ins := recs[1] // an INSERT: durable on return, so WAL time was spent
+	if ins.WALCommitNanos <= 0 || ins.WALBatch < 1 {
+		t.Errorf("DML record missing WAL commit accounting: %+v", ins)
+	}
+	if sel.WALCommitNanos != 0 {
+		t.Errorf("read-only record charged WAL time: %+v", sel)
+	}
+
+	// FlightRecords resolves the SELECT by its minted trace ID.
+	byTrace := db.FlightRecords(sel.Trace, "", 0, 0)
+	if len(byTrace) != 1 || byTrace[0].Seq != sel.Seq {
+		t.Fatalf("FlightRecords(trace) = %+v, want exactly the SELECT", byTrace)
+	}
+
+	// Drop the threshold to 1ns: the next statement is captured as slow
+	// and SHOW SLOW renders it.
+	db.EnableFlightRecorder(1)
+	execOK(t, db, "SELECT * FROM t WHERE a = 5") // hit
+	slow := db.SlowQueries(0)
+	if len(slow) == 0 {
+		t.Fatal("no slow captures at a 1ns threshold")
+	}
+	out := execOK(t, db, "SHOW SLOW 5").Output
+	if !strings.Contains(out, "SELECT * FROM t WHERE a = 5") {
+		t.Errorf("SHOW SLOW does not list the slow SELECT:\n%s", out)
+	}
+	if !strings.Contains(out, "trace") || !strings.Contains(out, "wal_ms") {
+		t.Errorf("SHOW SLOW header missing:\n%s", out)
+	}
+
+	st := db.FlightStats()
+	if !st.Enabled || st.Completed < 123 || st.Slow == 0 {
+		t.Errorf("FlightStats = %+v", st)
+	}
+}
+
+// TestFlightRecorderDisabledInert mirrors TestTimelineDisabledIsInert
+// at the statement layer: with the recorder off (the default), Exec
+// leaves no records and no counters behind.
+func TestFlightRecorderDisabledInert(t *testing.T) {
+	db := newObsDB(t)
+	defer db.Close()
+	if db.FlightRecorderEnabled() {
+		t.Fatal("flight recorder enabled by default")
+	}
+	execOK(t, db, "SELECT * FROM t WHERE a = 5")
+	if n := len(db.RecentQueries(0)); n != 0 {
+		t.Fatalf("disabled recorder captured %d records", n)
+	}
+	if st := db.FlightStats(); st.Enabled || st.Completed != 0 {
+		t.Fatalf("disabled recorder counted: %+v", st)
+	}
+	out := execOK(t, db, "SHOW SLOW").Output
+	if !strings.Contains(out, "off") {
+		t.Errorf("SHOW SLOW with recorder off = %q, want an off notice", out)
+	}
+
+	// Enable/disable round-trip: records stop accruing after Disable.
+	db.EnableFlightRecorder(0)
+	execOK(t, db, "SELECT * FROM t WHERE a = 6")
+	if n := len(db.RecentQueries(0)); n != 1 {
+		t.Fatalf("enabled recorder captured %d records, want 1", n)
+	}
+	db.DisableFlightRecorder()
+	execOK(t, db, "SELECT * FROM t WHERE a = 7")
+	if n := len(db.RecentQueries(0)); n != 1 {
+		t.Fatalf("disable did not stop capture: %d records", n)
 	}
 }
